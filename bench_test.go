@@ -1,0 +1,545 @@
+// Benchmarks regenerate every table and figure of the paper's evaluation.
+// Each benchmark runs the corresponding experiment at a reduced "quick"
+// scale (refresh window and thresholds shrunk 64×, which preserves every
+// reported ratio) and publishes the reproduced numbers as benchmark metrics:
+//
+//	go test -bench=Figure7b -benchmem        # the §7.2 synthetic study
+//	go test -bench=. -benchmem               # everything
+//
+// The `extra_act_pct` metric is the paper's y-axis (additional row
+// activations as a percent of normal activations). cmd/paperrepro runs the
+// same experiments at full paper scale and renders the complete tables.
+package twice
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/defense"
+	"repro/internal/defense/graphene"
+	"repro/internal/dram"
+	"repro/internal/experiments"
+	"repro/internal/mc"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// benchScale sizes experiment cells so individual benchmark iterations
+// finish in roughly a second.
+func benchScale() experiments.Scale {
+	s := experiments.QuickScale()
+	s.Cores = 2
+	s.Requests = 60000
+	s.SPECApps = []string{"mcf", "lbm", "povray"}
+	return s
+}
+
+// BenchmarkTable1Comparison regenerates the Table 1 qualitative comparison:
+// per-defense overhead on typical vs adversarial patterns plus
+// detectability, covering CRA and PRoHIT beyond the Figure 7 set.
+func BenchmarkTable1Comparison(b *testing.B) {
+	s := benchScale()
+	s.Requests = 30000
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.RenderTable1(rows))
+		}
+	}
+}
+
+// BenchmarkTable2Parameters regenerates the Table 2 derivations (thPI,
+// maxact, maxlife) and the §4.4 table bound at full paper scale.
+func BenchmarkTable2Parameters(b *testing.B) {
+	var d Derived
+	for i := 0; i < b.N; i++ {
+		d = experiments.Table2(experiments.PaperScale())
+	}
+	b.ReportMetric(float64(d.ThPI), "thPI")
+	b.ReportMetric(float64(d.MaxACT), "maxact")
+	b.ReportMetric(float64(d.MaxLife), "maxlife")
+	b.ReportMetric(float64(d.TableBound), "table_entries")
+}
+
+// BenchmarkTable3Energy regenerates the §7.1 energy overheads by running an
+// S3 attack under TWiCe and aggregating the Table 3 constants over the
+// simulated command mix.
+func BenchmarkTable3Energy(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		bd, err := experiments.Table3Measured(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*bd.CountOverhead(), "count_energy_pct")
+		b.ReportMetric(100*bd.UpdateOverhead(), "update_energy_pct")
+	}
+}
+
+// BenchmarkTable4SystemThroughput exercises the Table 4 machine end to end
+// (mix-high over the full controller/cache stack) and reports simulated
+// memory throughput, standing in for the configuration table's "does this
+// system behave like a 16-core DDR4-2400 box" claim.
+func BenchmarkTable4SystemThroughput(b *testing.B) {
+	s := benchScale()
+	cfg := sim.DefaultConfig(s.Cores)
+	cfg.DRAM.TREFW = s.TREFW
+	cfg.DRAM.NTh = s.NTh
+	cfg.MC = mc.NewConfig(cfg.DRAM)
+	for i := 0; i < b.N; i++ {
+		w, err := workload.MixHigh(s.Cores, uint64(cfg.DRAM.TotalCapacityBytes()), s.Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		def, err := s.NewDefense("TWiCe", cfg.DRAM)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.Run(cfg, def, w, sim.Limits{MaxRequests: s.Requests, MaxTime: 10 * clock.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gbps := float64(res.Counters.RequestsServed*64) / res.SimTime.Seconds() / 1e9
+		b.ReportMetric(gbps, "GB/s")
+		b.ReportMetric(100*res.Counters.RowHitRate(), "row_hit_pct")
+	}
+}
+
+// BenchmarkFigure7a regenerates the multi-programmed / multi-threaded study:
+// one sub-benchmark per (workload, defense) bar of Figure 7(a).
+func BenchmarkFigure7a(b *testing.B) {
+	s := benchScale()
+	cfg := sim.DefaultConfig(s.Cores)
+	cfg.DRAM.TREFW = s.TREFW
+	cfg.DRAM.NTh = s.NTh
+	cfg.MC = mc.NewConfig(cfg.DRAM)
+	mem := uint64(cfg.DRAM.TotalCapacityBytes())
+
+	workloads := []struct {
+		name  string
+		build func() (workload.Workload, error)
+	}{
+		{"SPECrate-mcf", func() (workload.Workload, error) { return workload.SPECRate("mcf", s.Cores, mem, s.Seed) }},
+		{"mix-high", func() (workload.Workload, error) { return workload.MixHigh(s.Cores, mem, s.Seed) }},
+		{"mix-blend", func() (workload.Workload, error) { return workload.MixBlend(s.Cores, mem, s.Seed), nil }},
+		{"FFT", func() (workload.Workload, error) { return workload.FFT(s.Cores, mem, s.Seed), nil }},
+		{"MICA", func() (workload.Workload, error) { return workload.MICA(s.Cores, mem, s.Seed), nil }},
+		{"PageRank", func() (workload.Workload, error) { return workload.PageRank(s.Cores, mem, s.Seed), nil }},
+		{"RADIX", func() (workload.Workload, error) { return workload.Radix(s.Cores, mem, s.Seed), nil }},
+	}
+	for _, wl := range workloads {
+		for _, dname := range experiments.DefenseNames() {
+			b.Run(fmt.Sprintf("%s/%s", wl.name, dname), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					w, err := wl.build()
+					if err != nil {
+						b.Fatal(err)
+					}
+					def, err := s.NewDefense(dname, cfg.DRAM)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := sim.Run(cfg, def, w, sim.Limits{MaxRequests: s.Requests, MaxTime: 10 * clock.Second})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(100*res.Counters.AdditionalACTRatio(), "extra_act_pct")
+					b.ReportMetric(float64(len(res.Flips)), "flips")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure7b regenerates the synthetic study: one sub-benchmark per
+// (S1/S2/S3, defense) bar of Figure 7(b).
+func BenchmarkFigure7b(b *testing.B) {
+	s := benchScale()
+	cfg := sim.DefaultConfig(1)
+	cfg.DRAM.TREFW = s.TREFW
+	cfg.DRAM.NTh = s.NTh
+	cfg.MC = mc.NewConfig(cfg.DRAM)
+	amap, err := mc.NewAddrMap(cfg.DRAM)
+	if err != nil {
+		b.Fatal(err)
+	}
+	synthetics := []struct {
+		name  string
+		build func() workload.Workload
+	}{
+		{"S1", func() workload.Workload { return workload.S1(amap, cfg.DRAM, s.Seed) }},
+		{"S2", func() workload.Workload { return workload.S2(amap, cfg.DRAM, s.CBTThreshold) }},
+		{"S3", func() workload.Workload { return workload.S3(amap, cfg.DRAM, 5000) }},
+	}
+	for _, syn := range synthetics {
+		for _, dname := range experiments.DefenseNames() {
+			b.Run(fmt.Sprintf("%s/%s", syn.name, dname), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					def, err := s.NewDefense(dname, cfg.DRAM)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := sim.Run(cfg, def, syn.build(), sim.Limits{MaxRequests: s.Requests, MaxTime: 10 * clock.Second})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(100*res.Counters.AdditionalACTRatio(), "extra_act_pct")
+					b.ReportMetric(float64(res.Counters.Detections), "detections")
+					b.ReportMetric(float64(len(res.Flips)), "flips")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTableSizeBound regenerates the §4.4 counter-table bound (556
+// entries for the Table 2 parameters; the paper reports 553).
+func BenchmarkTableSizeBound(b *testing.B) {
+	cfg := NewTWiCeConfig(DDR4())
+	var bound int
+	for i := 0; i < b.N; i++ {
+		bound = cfg.TableBound()
+	}
+	b.ReportMetric(float64(bound), "entries")
+	b.ReportMetric(float64(cfg.DRAM.RowsPerBank)/float64(bound), "reduction_x")
+}
+
+// BenchmarkSeparatedTableSizing regenerates the §6.2 sub-table split and the
+// storage saving it buys.
+func BenchmarkSeparatedTableSizing(b *testing.B) {
+	cfg := NewTWiCeConfig(DDR4())
+	var narrow, wide int
+	for i := 0; i < b.N; i++ {
+		narrow, wide = cfg.SeparatedSizing()
+	}
+	a := AreaModel(cfg)
+	uniform := (narrow + wide) * a.BitsPerWide / 8
+	b.ReportMetric(float64(narrow), "narrow_entries")
+	b.ReportMetric(float64(wide), "wide_entries")
+	b.ReportMetric(100*(1-float64(a.TableBytes)/float64(uniform)), "saving_pct")
+}
+
+// BenchmarkAreaOverhead regenerates the §7.1 storage figure (~2.7-2.9 KB of
+// table per 1 GB DRAM bank).
+func BenchmarkAreaOverhead(b *testing.B) {
+	cfg := NewTWiCeConfig(DDR4())
+	var a Area
+	for i := 0; i < b.N; i++ {
+		a = AreaModel(cfg)
+	}
+	b.ReportMetric(a.BytesPerGB/1024, "KB_per_GB")
+	b.ReportMetric(float64(a.SBIndicatorBytes), "sb_bytes")
+}
+
+// --- Ablations: the design choices DESIGN.md calls out. ---
+
+// BenchmarkAblationThreshold sweeps thRH: protection margin versus table
+// size versus ARR rate (§4.3's thRH ≤ Nth/4 trade-off).
+func BenchmarkAblationThreshold(b *testing.B) {
+	s := benchScale()
+	for _, thRH := range []int{256, 512, 1024, 2048} {
+		b.Run(fmt.Sprintf("thRH=%d", thRH), func(b *testing.B) {
+			cfg := sim.DefaultConfig(1)
+			cfg.DRAM.TREFW = s.TREFW
+			cfg.DRAM.NTh = 4 * thRH
+			cfg.MC = mc.NewConfig(cfg.DRAM)
+			amap, err := mc.NewAddrMap(cfg.DRAM)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ccfg := core.NewConfig(cfg.DRAM)
+			ccfg.ThRH = thRH
+			for i := 0; i < b.N; i++ {
+				tw, err := core.New(ccfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := sim.Run(cfg, tw, workload.S3(amap, cfg.DRAM, 5000),
+					sim.Limits{MaxRequests: s.Requests, MaxTime: 10 * clock.Second})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*res.Counters.AdditionalACTRatio(), "extra_act_pct")
+				b.ReportMetric(float64(ccfg.TableBound()), "table_entries")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPruneInterval sweeps the pruning interval (PI = k·tREFI):
+// longer intervals mean fewer table updates but more counters.
+func BenchmarkAblationPruneInterval(b *testing.B) {
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("PIx%d", k), func(b *testing.B) {
+			cfg := NewTWiCeConfig(DDR4())
+			cfg.PruneEvery = k
+			if err := cfg.Validate(); err != nil {
+				b.Fatal(err)
+			}
+			var bound int
+			for i := 0; i < b.N; i++ {
+				bound = cfg.TableBound()
+			}
+			b.ReportMetric(float64(bound), "table_entries")
+			b.ReportMetric(float64(cfg.ThPI()), "thPI")
+		})
+	}
+}
+
+// BenchmarkAblationTableOrg compares the three table organizations on an
+// identical attack stream: identical protection, different energy paths.
+func BenchmarkAblationTableOrg(b *testing.B) {
+	s := benchScale()
+	for _, org := range []core.Org{core.FA, core.PA, core.Separated} {
+		b.Run(org.String(), func(b *testing.B) {
+			cfg := sim.DefaultConfig(1)
+			cfg.DRAM.TREFW = s.TREFW
+			cfg.DRAM.NTh = s.NTh
+			cfg.MC = mc.NewConfig(cfg.DRAM)
+			amap, err := mc.NewAddrMap(cfg.DRAM)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ccfg := core.NewConfig(cfg.DRAM)
+			ccfg.ThRH = s.ThRH
+			ccfg.Org = org
+			for i := 0; i < b.N; i++ {
+				tw, err := core.New(ccfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := sim.Run(cfg, tw, workload.S3(amap, cfg.DRAM, 5000),
+					sim.Limits{MaxRequests: s.Requests, MaxTime: 10 * clock.Second})
+				if err != nil {
+					b.Fatal(err)
+				}
+				bd := Table3Energy().Aggregate(res.Counters, tw.Ops(), org, cfg.DRAM.BanksPerRank)
+				b.ReportMetric(100*bd.CountOverhead(), "count_energy_pct")
+				b.ReportMetric(float64(res.Counters.Detections), "detections")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBlastRadius scales the disturbance radius (§3.2 notes
+// thresholds tighten as technology scales): TWiCe with radius-2 ARRs.
+func BenchmarkAblationBlastRadius(b *testing.B) {
+	s := benchScale()
+	for _, radius := range []int{1, 2} {
+		b.Run(fmt.Sprintf("radius=%d", radius), func(b *testing.B) {
+			cfg := sim.DefaultConfig(1)
+			cfg.DRAM.TREFW = s.TREFW
+			cfg.DRAM.NTh = s.NTh
+			cfg.DRAM.BlastRadius = radius
+			cfg.MC = mc.NewConfig(cfg.DRAM)
+			amap, err := mc.NewAddrMap(cfg.DRAM)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ccfg := core.NewConfig(cfg.DRAM)
+			ccfg.ThRH = s.ThRH
+			for i := 0; i < b.N; i++ {
+				tw, err := core.New(ccfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := sim.Run(cfg, tw, workload.S3(amap, cfg.DRAM, 5000),
+					sim.Limits{MaxRequests: s.Requests, MaxTime: 10 * clock.Second})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*res.Counters.AdditionalACTRatio(), "extra_act_pct")
+				b.ReportMetric(float64(len(res.Flips)), "flips")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSuccessor compares TWiCe against Graphene (the MICRO'20
+// follow-on built on a Misra-Gries summary) at the same detection threshold:
+// same deterministic protection, different state cost.
+func BenchmarkAblationSuccessor(b *testing.B) {
+	s := benchScale()
+	for _, dname := range []string{"TWiCe", "Graphene"} {
+		b.Run(dname, func(b *testing.B) {
+			cfg := sim.DefaultConfig(1)
+			cfg.DRAM.TREFW = s.TREFW
+			cfg.DRAM.NTh = s.NTh
+			cfg.MC = mc.NewConfig(cfg.DRAM)
+			amap, err := mc.NewAddrMap(cfg.DRAM)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				def, err := s.NewDefense(dname, cfg.DRAM)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := sim.Run(cfg, def, workload.S3(amap, cfg.DRAM, 5000),
+					sim.Limits{MaxRequests: s.Requests, MaxTime: 10 * clock.Second})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*res.Counters.AdditionalACTRatio(), "extra_act_pct")
+				b.ReportMetric(float64(res.Counters.Detections), "detections")
+				b.ReportMetric(float64(len(res.Flips)), "flips")
+			}
+			// State cost at the paper scale for the comparison headline.
+			ccfg := core.NewConfig(dram.DDR4_2400())
+			if dname == "TWiCe" {
+				b.ReportMetric(float64(ccfg.TableBound()), "paper_entries")
+			} else {
+				b.ReportMetric(float64(graphene.NewConfig(dram.DDR4_2400(), 32768).Entries), "paper_entries")
+			}
+		})
+	}
+}
+
+// --- Microbenchmarks of the core data structures. ---
+
+func benchCoreConfig() core.Config {
+	p := dram.DDR4_2400()
+	p.Channels, p.RanksPerChannel, p.BanksPerRank = 1, 1, 1
+	p.BankGroups = 1
+	return core.NewConfig(p)
+}
+
+// BenchmarkTWiCeOnActivate measures the per-ACT cost of each organization.
+func BenchmarkTWiCeOnActivate(b *testing.B) {
+	for _, org := range []core.Org{core.FA, core.PA, core.Separated} {
+		b.Run(org.String(), func(b *testing.B) {
+			cfg := benchCoreConfig()
+			cfg.Org = org
+			tw, err := core.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bank := dram.BankID{}
+			maxact := cfg.MaxACT()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tw.OnActivate(bank, i%512, 0)
+				if i%maxact == maxact-1 {
+					tw.OnRefreshTick(bank, 0)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTWiCePrune measures the prune pass over a loaded table.
+func BenchmarkTWiCePrune(b *testing.B) {
+	cfg := benchCoreConfig()
+	tw, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bank := dram.BankID{}
+	for r := 0; r < cfg.MaxACT(); r++ {
+		tw.OnActivate(bank, r, 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tw.OnRefreshTick(bank, 0)
+	}
+}
+
+// BenchmarkAblationScheduler compares FR-FCFS against PAR-BS on the
+// multi-core mix (Table 4 uses PAR-BS).
+func BenchmarkAblationScheduler(b *testing.B) {
+	s := benchScale()
+	for _, sched := range []mc.Scheduler{mc.FRFCFS, mc.PARBS} {
+		b.Run(sched.String(), func(b *testing.B) {
+			cfg := sim.DefaultConfig(s.Cores)
+			cfg.DRAM.TREFW = s.TREFW
+			cfg.DRAM.NTh = s.NTh
+			cfg.MC = mc.NewConfig(cfg.DRAM)
+			cfg.MC.Scheduler = sched
+			for i := 0; i < b.N; i++ {
+				w, err := workload.MixHigh(s.Cores, uint64(cfg.DRAM.TotalCapacityBytes()), s.Seed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := sim.Run(cfg, defenseOrDie(b, s, cfg), w,
+					sim.Limits{MaxRequests: s.Requests, MaxTime: 10 * clock.Second})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Counters.AvgLatency().Nanoseconds(), "avg_lat_ns")
+				b.ReportMetric(100*res.Counters.RowHitRate(), "row_hit_pct")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPagePolicy compares the three row-buffer policies on the
+// multi-core mix (Table 4 uses minimalist-open).
+func BenchmarkAblationPagePolicy(b *testing.B) {
+	s := benchScale()
+	for _, pol := range []mc.PagePolicy{mc.OpenPage, mc.ClosedPage, mc.MinimalistOpen} {
+		b.Run(pol.String(), func(b *testing.B) {
+			cfg := sim.DefaultConfig(s.Cores)
+			cfg.DRAM.TREFW = s.TREFW
+			cfg.DRAM.NTh = s.NTh
+			cfg.MC = mc.NewConfig(cfg.DRAM)
+			cfg.MC.PagePolicy = pol
+			for i := 0; i < b.N; i++ {
+				w, err := workload.MixHigh(s.Cores, uint64(cfg.DRAM.TotalCapacityBytes()), s.Seed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := sim.Run(cfg, defenseOrDie(b, s, cfg), w,
+					sim.Limits{MaxRequests: s.Requests, MaxTime: 10 * clock.Second})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Counters.AvgLatency().Nanoseconds(), "avg_lat_ns")
+				b.ReportMetric(100*res.Counters.RowHitRate(), "row_hit_pct")
+				b.ReportMetric(float64(res.Counters.NormalACTs), "acts")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRefreshPostpone measures the latency effect of JEDEC
+// refresh postponement under the memory-intensive mix.
+func BenchmarkAblationRefreshPostpone(b *testing.B) {
+	s := benchScale()
+	for _, pp := range []int{0, 8} {
+		b.Run(fmt.Sprintf("postpone=%d", pp), func(b *testing.B) {
+			cfg := sim.DefaultConfig(s.Cores)
+			cfg.DRAM.TREFW = s.TREFW
+			cfg.DRAM.NTh = s.NTh
+			cfg.MC = mc.NewConfig(cfg.DRAM)
+			cfg.MC.RefreshPostpone = pp
+			for i := 0; i < b.N; i++ {
+				w, err := workload.MixHigh(s.Cores, uint64(cfg.DRAM.TotalCapacityBytes()), s.Seed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := sim.Run(cfg, defenseOrDie(b, s, cfg), w,
+					sim.Limits{MaxRequests: s.Requests, MaxTime: 10 * clock.Second})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Counters.AvgLatency().Nanoseconds(), "avg_lat_ns")
+				b.ReportMetric(float64(res.Counters.MaxLatency.Nanoseconds()), "max_lat_ns")
+			}
+		})
+	}
+}
+
+// defenseOrDie builds the default TWiCe defense for ablation benches.
+func defenseOrDie(b *testing.B, s experiments.Scale, cfg sim.Config) defense.Defense {
+	b.Helper()
+	def, err := s.NewDefense("TWiCe", cfg.DRAM)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return def
+}

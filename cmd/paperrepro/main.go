@@ -1,0 +1,136 @@
+// Command paperrepro regenerates every table and figure of the TWiCe paper's
+// evaluation and prints them side by side with the values the paper reports.
+//
+// Usage:
+//
+//	paperrepro [-scale quick|paper] [-only table1|table2|table3|table4|fig7a|fig7b|area]
+//
+// The quick scale (default) shrinks the refresh window and every threshold
+// 64×, preserving the reported ratios while finishing in minutes; the paper
+// scale runs the exact Table 2 parameters and takes correspondingly longer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or paper")
+	only := flag.String("only", "", "run a single experiment: table1,table2,table3,table4,fig7a,fig7b,area")
+	requests := flag.Int64("requests", 0, "override demand requests per cell")
+	csvDir := flag.String("csv", "", "directory to also write fig7a.csv / fig7b.csv into")
+	flag.Parse()
+
+	var s experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		s = experiments.QuickScale()
+	case "paper":
+		s = experiments.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "paperrepro: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+	if *requests > 0 {
+		s.Requests = *requests
+	}
+
+	want := func(name string) bool { return *only == "" || *only == name }
+	fmt.Printf("TWiCe reproduction — scale %s (thRH=%d, tREFW=%v, %d requests/cell)\n\n",
+		s.Name, s.ThRH, s.TREFW, s.Requests)
+
+	if want("table2") {
+		fmt.Println("== Table 2: TWiCe parameter derivation ==")
+		d := experiments.Table2(s)
+		fmt.Println(d)
+		fmt.Println("paper (at paper scale): thRH=32768 thPI=4 maxact=165 maxlife=8192 bound=553")
+		fmt.Println()
+	}
+	if want("table4") {
+		fmt.Println("== Table 4: simulated system ==")
+		fmt.Print(experiments.Table4(s))
+		fmt.Println()
+	}
+	if want("table3") {
+		fmt.Println("== Table 3 / §7.1: energy overheads ==")
+		m := experiments.Table3()
+		fmt.Printf("constants: fa count %v/%.3fnJ, fa update %v/%.3fnJ, pa count %v/%.3fnJ, DRAM ACT+PRE %v/%.2fnJ\n",
+			m.FACount.Time, m.FACount.NanoJ, m.FAUpdate.Time, m.FAUpdate.NanoJ,
+			m.PACountPreferred.Time, m.PACountPreferred.NanoJ, m.DRAMActPre.Time, m.DRAMActPre.NanoJ)
+		bd, err := experiments.Table3Measured(s)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("measured over an S3 run: %s\n", bd)
+		fmt.Println("paper: count < 0.7% of ACT/PRE energy, update < 0.5% of refresh energy")
+		fmt.Println()
+	}
+	if want("area") {
+		fmt.Println("== §6.2/§7.1: table storage ==")
+		a := experiments.AreaReport(s)
+		fmt.Printf("%d entries (%d wide ×%db + %d narrow ×%db) = %d B/table (+%d B SB) = %.2f KB per GB bank\n",
+			a.Entries, a.WideEntries, a.BitsPerWide, a.NarrowEntries, a.BitsPerNarrow,
+			a.TableBytes, a.SBIndicatorBytes, a.BytesPerGB/1024)
+		fmt.Println("paper: 553 entries (429 wide + 124 narrow), 2.71 KB per 1 GB bank")
+		fmt.Println()
+	}
+	if want("fig7b") {
+		fmt.Println("== Figure 7(b): synthetic workloads ==")
+		cells, err := experiments.Figure7b(s)
+		if err != nil {
+			fail(err)
+		}
+		writeCSV(*csvDir, "fig7b.csv", cells)
+		fmt.Print(experiments.RenderCells("additional ACTs, synthetics", cells))
+		fmt.Println("paper: TWiCe 0/0/0.006%; PARA-p ≈ p; CBT-256 up to 4.82% (S2), 0.39% (S3)")
+		fmt.Println()
+	}
+	if want("fig7a") {
+		fmt.Println("== Figure 7(a): multi-programmed and multi-threaded workloads ==")
+		fmt.Printf("(running %d SPEC apps + 6 workloads × %d defenses; this is the long one)\n",
+			len(s.SPECApps), len(experiments.DefenseNames()))
+		cells, err := experiments.Figure7a(s)
+		if err != nil {
+			fail(err)
+		}
+		writeCSV(*csvDir, "fig7a.csv", cells)
+		fmt.Print(experiments.RenderCells("additional ACTs, normal workloads", cells))
+		fmt.Println("paper: TWiCe 0 everywhere; PARA ≈ p; CBT-256 ≈ 0.05% average")
+		fmt.Println()
+	}
+	if want("table1") {
+		fmt.Println("== Table 1: qualitative comparison, quantified ==")
+		rows, err := experiments.Table1(s)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.RenderTable1(rows))
+		fmt.Println("paper: CRA/CBT high adversarial drop; PARA small but undetecting; TWiCe smallest + detects")
+		fmt.Println()
+	}
+}
+
+// writeCSV exports cells into dir/name when a CSV directory was given.
+func writeCSV(dir, name string, cells []experiments.Cell) {
+	if dir == "" {
+		return
+	}
+	f, err := os.Create(dir + "/" + name)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	if err := experiments.WriteCellsCSV(f, cells); err != nil {
+		fail(err)
+	}
+	fmt.Printf("(wrote %s/%s)\n", dir, name)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "paperrepro:", err)
+	os.Exit(1)
+}

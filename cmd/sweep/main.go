@@ -1,0 +1,128 @@
+// Command sweep runs one-dimensional design-space sweeps — the ablations
+// DESIGN.md calls out — and writes the results as CSV for plotting.
+//
+// Usage:
+//
+//	sweep -param thrh -values 256,512,1024,2048            # detection threshold
+//	sweep -param para-p -values 0.0005,0.001,0.002,0.004   # PARA probability
+//	sweep -param prune-every -values 1,2,4,8               # TWiCe PI stretch
+//	sweep -param blast-radius -values 1,2                  # disturbance radius
+//
+// Every sweep runs the S3 attack on the quick-scale machine and reports the
+// additional-ACT ratio, detections, flips, and (for TWiCe sweeps) the
+// provable table bound at each point.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/defense"
+	"repro/internal/defense/para"
+	"repro/internal/experiments"
+	"repro/internal/mc"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	param := flag.String("param", "thrh", "swept parameter: thrh, para-p, prune-every, blast-radius")
+	values := flag.String("values", "", "comma-separated sweep values")
+	requests := flag.Int64("requests", 150000, "demand requests per point")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+	if *values == "" {
+		fail(fmt.Errorf("-values is required"))
+	}
+
+	s := experiments.QuickScale()
+	s.Seed = *seed
+	fmt.Println("param,value,extra_act_ratio,detections,arrs,nacks,flips,table_entries")
+	for _, raw := range strings.Split(*values, ",") {
+		raw = strings.TrimSpace(raw)
+		cfg := sim.DefaultConfig(1)
+		cfg.DRAM.TREFW = s.TREFW
+		cfg.DRAM.NTh = s.NTh
+		cfg.Seed = *seed
+
+		var def defense.Defense
+		tableEntries := 0
+		switch *param {
+		case "thrh":
+			v, err := strconv.Atoi(raw)
+			if err != nil {
+				fail(err)
+			}
+			cfg.DRAM.NTh = 4 * v // keep the config sound at every point
+			ccfg := core.NewConfig(cfg.DRAM)
+			ccfg.ThRH = v
+			tw, err := core.New(ccfg)
+			if err != nil {
+				fail(err)
+			}
+			def, tableEntries = tw, ccfg.TableBound()
+		case "para-p":
+			v, err := strconv.ParseFloat(raw, 64)
+			if err != nil {
+				fail(err)
+			}
+			pa, err := para.New(v, cfg.DRAM, *seed+3)
+			if err != nil {
+				fail(err)
+			}
+			def = pa
+		case "prune-every":
+			v, err := strconv.Atoi(raw)
+			if err != nil {
+				fail(err)
+			}
+			ccfg := core.NewConfig(cfg.DRAM)
+			ccfg.ThRH = s.ThRH
+			ccfg.PruneEvery = v
+			tw, err := core.New(ccfg)
+			if err != nil {
+				fail(err)
+			}
+			def, tableEntries = tw, ccfg.TableBound()
+		case "blast-radius":
+			v, err := strconv.Atoi(raw)
+			if err != nil {
+				fail(err)
+			}
+			cfg.DRAM.BlastRadius = v
+			ccfg := core.NewConfig(cfg.DRAM)
+			ccfg.ThRH = s.ThRH
+			tw, err := core.New(ccfg)
+			if err != nil {
+				fail(err)
+			}
+			def, tableEntries = tw, ccfg.TableBound()
+		default:
+			fail(fmt.Errorf("unknown parameter %q", *param))
+		}
+
+		cfg.MC = mc.NewConfig(cfg.DRAM)
+		amap, err := mc.NewAddrMap(cfg.DRAM)
+		if err != nil {
+			fail(err)
+		}
+		res, err := sim.Run(cfg, def, workload.S3(amap, cfg.DRAM, 5000),
+			sim.Limits{MaxRequests: *requests, MaxTime: 10 * clock.Second})
+		if err != nil {
+			fail(err)
+		}
+		c := res.Counters
+		fmt.Printf("%s,%s,%.6g,%d,%d,%d,%d,%d\n",
+			*param, raw, c.AdditionalACTRatio(), c.Detections, c.ARRs, c.Nacks, len(res.Flips), tableEntries)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,148 @@
+// Command tracegen records workload access streams into the repository's
+// compact trace format and inspects existing traces, so interesting patterns
+// (attack payloads, generator outputs) can be stored and replayed
+// deterministically through twicesim or the library.
+//
+// Usage:
+//
+//	tracegen -workload S3 -n 100000 -o s3.trace     # record
+//	tracegen -inspect s3.trace                      # summarise
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/dram"
+	"repro/internal/mc"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	wname := flag.String("workload", "S3", "workload to record: S1, S2, S3, double-sided, specrate:<app>, MICA")
+	n := flag.Int("n", 100000, "accesses to record")
+	out := flag.String("o", "", "output trace file (required for recording)")
+	inspect := flag.String("inspect", "", "trace file to summarise instead of recording")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	if *inspect != "" {
+		if err := summarise(*inspect); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *out == "" {
+		fail(errors.New("-o is required when recording (or use -inspect)"))
+	}
+
+	p := dram.DDR4_2400()
+	amap, err := mc.NewAddrMap(p)
+	if err != nil {
+		fail(err)
+	}
+	gen, err := pickGenerator(*wname, amap, p, *seed)
+	if err != nil {
+		fail(err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	if err := trace.Record(f, gen, *n); err != nil {
+		fail(err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("recorded %d accesses of %s to %s (%d bytes, %.2f B/access)\n",
+		*n, gen.Name(), *out, info.Size(), float64(info.Size())/float64(*n))
+}
+
+func pickGenerator(name string, amap *mc.AddrMap, p dram.Params, seed int64) (workload.Generator, error) {
+	mem := uint64(p.TotalCapacityBytes())
+	switch name {
+	case "S1":
+		return workload.S1(amap, p, seed).Gens[0], nil
+	case "S2":
+		return workload.S2(amap, p, 32768).Gens[0], nil
+	case "S3":
+		return workload.S3(amap, p, 5000).Gens[0], nil
+	case "double-sided":
+		return workload.DoubleSided(amap, 5000).Gens[0], nil
+	case "MICA":
+		return workload.MICA(1, mem, seed).Gens[0], nil
+	default:
+		if len(name) > 9 && name[:9] == "specrate:" {
+			w, err := workload.SPECRate(name[9:], 1, mem, seed)
+			if err != nil {
+				return nil, err
+			}
+			return w.Gens[0], nil
+		}
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+func summarise(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	p := dram.DDR4_2400()
+	amap, err := mc.NewAddrMap(p)
+	if err != nil {
+		return err
+	}
+	var count, writes, insts int64
+	rows := map[dram.Addr]int64{}
+	for {
+		a, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		count++
+		insts += int64(a.Gap)
+		if a.Write {
+			writes++
+		}
+		d := amap.Decompose(a.Addr)
+		d.Col = 0
+		rows[d]++
+	}
+	if count == 0 {
+		return errors.New("empty trace")
+	}
+	var hottest dram.Addr
+	var hotCount int64
+	for r, c := range rows {
+		if c > hotCount {
+			hottest, hotCount = r, c
+		}
+	}
+	fmt.Printf("%s: %d accesses (%.1f%% writes), %d instructions, %d distinct rows\n",
+		path, count, 100*float64(writes)/float64(count), insts, len(rows))
+	fmt.Printf("hottest row: %v with %d accesses (%.1f%% of trace)\n",
+		hottest, hotCount, 100*float64(hotCount)/float64(count))
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

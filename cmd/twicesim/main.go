@@ -1,0 +1,169 @@
+// Command twicesim runs one workload against one row-hammer defense on the
+// simulated Table 4 machine and prints the full activity report.
+//
+// Usage:
+//
+//	twicesim -workload S3 -defense TWiCe -requests 500000
+//	twicesim -workload mix-high -defense PARA-0.002 -cores 16
+//	twicesim -workload specrate:mcf -defense CBT-256
+//	twicesim -list
+//
+// Workloads: S1, S2, S3, double-sided, mix-high, mix-blend, FFT, MICA,
+// PageRank, RADIX, specrate:<app>. Defenses: none, TWiCe, TWiCe-fa,
+// TWiCe-sep, PARA-0.001, PARA-0.002, CBT-256, CRA, PRoHIT.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/clock"
+	"repro/internal/experiments"
+	"repro/internal/mc"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	wname := flag.String("workload", "S3", "workload to run (see -list)")
+	dname := flag.String("defense", "TWiCe", "defense to attach (see -list)")
+	cores := flag.Int("cores", 4, "cores for multi-programmed/threaded workloads")
+	requests := flag.Int64("requests", 200000, "demand memory requests to simulate")
+	scaleFlag := flag.String("scale", "quick", "threshold scale: quick (1 ms window) or paper (64 ms)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	hammerRow := flag.Int("row", 5000, "aggressor/victim row for S3 and double-sided")
+	replay := flag.String("replay", "", "replay a recorded trace file instead of a named workload")
+	list := flag.Bool("list", false, "list workloads and defenses, then exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("defenses: none, TWiCe, TWiCe-fa, TWiCe-sep, PARA-0.001, PARA-0.002, CBT-256, CRA, PRoHIT")
+		fmt.Println("workloads: S1, S2, S3, double-sided, mix-high, mix-blend, FFT, MICA, PageRank, RADIX, specrate:<app>")
+		fmt.Print("SPEC apps: ")
+		names := make([]string, 0, 29)
+		for _, p := range workload.Profiles() {
+			names = append(names, p.Name)
+		}
+		fmt.Println(strings.Join(names, ", "))
+		return
+	}
+
+	var s experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		s = experiments.QuickScale()
+	case "paper":
+		s = experiments.PaperScale()
+	default:
+		fail(fmt.Errorf("unknown scale %q", *scaleFlag))
+	}
+	s.Cores = *cores
+	s.Seed = *seed
+
+	cfg := sim.DefaultConfig(*cores)
+	cfg.DRAM.TREFW = s.TREFW
+	cfg.DRAM.NTh = s.NTh
+	cfg.MC = mc.NewConfig(cfg.DRAM)
+	cfg.Seed = *seed
+
+	var w workload.Workload
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fail(err)
+		}
+		rep, err := trace.NewReplayer(*replay, f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		w = workload.Workload{Name: "replay:" + *replay, Gens: []workload.Generator{rep}, BypassCache: true}
+	} else {
+		var err error
+		w, err = buildWorkload(*wname, s, cfg, *hammerRow)
+		if err != nil {
+			fail(err)
+		}
+	}
+	def, err := s.NewDefense(*dname, cfg.DRAM)
+	if err != nil {
+		fail(err)
+	}
+
+	res, err := sim.Run(cfg, def, w, sim.Limits{MaxRequests: *requests, MaxTime: 30 * clock.Second})
+	if err != nil {
+		fail(err)
+	}
+
+	c := res.Counters
+	fmt.Printf("workload  %s\ndefense   %s\nsim time  %v\n\n", res.Workload, res.Defense, res.SimTime)
+	fmt.Printf("requests served    %d (avg latency %v, max %v)\n", c.RequestsServed, c.AvgLatency(), c.MaxLatency)
+	fmt.Printf("row activations    %d normal + %d defense-added (%.4f%%)\n", c.NormalACTs, c.DefenseACTs, 100*c.AdditionalACTRatio())
+	fmt.Printf("row buffer         %.1f%% hits (%d hits / %d misses / %d conflicts)\n",
+		100*c.RowHitRate(), c.RowHits, c.RowMisses, c.RowConflicts)
+	fmt.Printf("refreshes          %d auto-refresh, %d ARR commands, %d nacks\n", c.Refreshes, c.ARRs, c.Nacks)
+	fmt.Printf("detections         %d row-hammer aggressors flagged\n", c.Detections)
+	if len(res.DetectionsByCore) > 0 {
+		fmt.Print("attribution       ")
+		for core, n := range res.DetectionsByCore {
+			fmt.Printf(" core%d:%d", core, n)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("bit flips          %d", len(res.Flips))
+	if len(res.Flips) > 0 {
+		f := res.Flips[0]
+		fmt.Printf(" (first: %v physical row %d at %v)", f.Bank, f.PhysRow, f.Time)
+	}
+	fmt.Println()
+	if c.CacheHits+c.CacheMisses > 0 {
+		fmt.Printf("caches             %.1f%% hierarchy hit rate, L3 %.1f%%\n",
+			100*float64(c.CacheHits)/float64(c.CacheHits+c.CacheMisses), 100*res.L3.HitRate())
+	}
+}
+
+func buildWorkload(name string, s experiments.Scale, cfg sim.Config, row int) (workload.Workload, error) {
+	mem := uint64(cfg.DRAM.TotalCapacityBytes())
+	if app, ok := strings.CutPrefix(name, "specrate:"); ok {
+		return workload.SPECRate(app, s.Cores, mem, s.Seed)
+	}
+	switch name {
+	case "S1", "S2", "S3", "double-sided":
+		amap, err := mc.NewAddrMap(cfg.DRAM)
+		if err != nil {
+			return workload.Workload{}, err
+		}
+		switch name {
+		case "S1":
+			return workload.S1(amap, cfg.DRAM, s.Seed), nil
+		case "S2":
+			return workload.S2(amap, cfg.DRAM, s.CBTThreshold), nil
+		case "S3":
+			return workload.S3(amap, cfg.DRAM, row), nil
+		default:
+			return workload.DoubleSided(amap, row), nil
+		}
+	case "mix-high":
+		return workload.MixHigh(s.Cores, mem, s.Seed)
+	case "mix-blend":
+		return workload.MixBlend(s.Cores, mem, s.Seed), nil
+	case "FFT":
+		return workload.FFT(s.Cores, mem, s.Seed), nil
+	case "MICA":
+		return workload.MICA(s.Cores, mem, s.Seed), nil
+	case "PageRank":
+		return workload.PageRank(s.Cores, mem, s.Seed), nil
+	case "RADIX":
+		return workload.Radix(s.Cores, mem, s.Seed), nil
+	default:
+		return workload.Workload{}, fmt.Errorf("unknown workload %q (try -list)", name)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "twicesim:", err)
+	os.Exit(1)
+}

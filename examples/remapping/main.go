@@ -1,0 +1,80 @@
+// Remapping: demonstrate why the paper adds the in-device ARR command (§5.2)
+// instead of letting the memory controller refresh "adjacent" rows itself.
+//
+// DRAM devices silently remap faulty rows to spares at test time, so two
+// rows with adjacent indices need not be physical neighbours. A controller
+// that refreshes logical row±1 protects the wrong rows for remapped
+// aggressors; the device-side ARR resolves the fuse data and refreshes the
+// true victims.
+//
+//	go run ./examples/remapping
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/clock"
+	"repro/internal/dram"
+)
+
+func main() {
+	p := dram.DDR4_2400()
+	p.NTh = 2000 // a weak part, so the damage shows quickly
+
+	// A bank where logical row 5000 was found faulty at test time and
+	// remapped to a spare physical row.
+	remap := dram.NewRemapTable(p.RowsPerBank, p.SpareRowsPerBank)
+	if err := remap.Remap(5000); err != nil {
+		log.Fatal(err)
+	}
+	phys := remap.Physical(5000)
+	fmt.Printf("logical row 5000 lives at physical row %d (spare region)\n\n", phys)
+
+	hammer := func(bank *dram.Bank, n int) {
+		for i := 0; i < n; i++ {
+			if err := bank.Activate(5000, clock.Time(i)); err != nil {
+				log.Fatal(err)
+			}
+			bank.Precharge()
+		}
+	}
+
+	// Controller-side "adjacent" refresh: protects logical rows 4999/5001,
+	// which are NOT the aggressor's physical neighbours.
+	mcSide := dram.NewBank(dram.BankID{}, &p, cloneRemap(p))
+	for round := 0; round < 4; round++ {
+		hammer(mcSide, 900)
+		if _, err := mcSide.RefreshLogicalNeighbors(5000, 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("controller-side refresh of logical row±1:\n")
+	fmt.Printf("  true victim (physical %d) disturbance: %d  -> flips: %d\n",
+		phys-1, mcSide.Disturbance(phys-1), len(mcSide.Flips()))
+
+	// Device-side ARR: the device consults its fuses and refreshes the
+	// real neighbours of the spare row.
+	devSide := dram.NewBank(dram.BankID{}, &p, cloneRemap(p))
+	for round := 0; round < 4; round++ {
+		hammer(devSide, 900)
+		if _, err := devSide.AdjacentRowRefresh(5000, 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("device-side ARR:\n")
+	fmt.Printf("  true victim (physical %d) disturbance: %d  -> flips: %d\n",
+		phys-1, devSide.Disturbance(phys-1), len(devSide.Flips()))
+
+	fmt.Println("\nthe controller cannot know the fuse data for millions of rows (§3.4);")
+	fmt.Println("TWiCe therefore sends ARR and lets the device find the victims (§5.2).")
+}
+
+// cloneRemap rebuilds the same remap layout for each bank under test.
+func cloneRemap(p dram.Params) *dram.RemapTable {
+	t := dram.NewRemapTable(p.RowsPerBank, p.SpareRowsPerBank)
+	if err := t.Remap(5000); err != nil {
+		log.Fatal(err)
+	}
+	return t
+}

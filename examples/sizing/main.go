@@ -1,0 +1,52 @@
+// Sizing: explore the TWiCe design space — how the detection threshold and
+// pruning interval drive the provable table bound (§4.4), the separated-
+// table split (§6.2), and the storage per gigabyte (§7.1).
+//
+//	go run ./examples/sizing
+package main
+
+import (
+	"fmt"
+
+	twice "repro"
+)
+
+func main() {
+	p := twice.DDR4()
+
+	fmt.Println("Table 2 derivation for DDR4-2400:")
+	base := twice.NewTWiCeConfig(p)
+	fmt.Printf("  %s\n\n", twice.Derive(base))
+
+	fmt.Println("thRH sweep (protection margin vs table size):")
+	fmt.Printf("  %8s %6s %8s %8s %14s\n", "thRH", "thPI", "entries", "KB/GB", "safe for Nth≥")
+	for _, thRH := range []int{16384, 32768, 65536} {
+		cfg := twice.NewTWiCeConfig(p)
+		cfg.ThRH = thRH
+		a := twice.AreaModel(cfg)
+		fmt.Printf("  %8d %6d %8d %8.2f %14d\n",
+			thRH, cfg.ThPI(), cfg.TableBound(), a.BytesPerGB/1024, 4*thRH)
+	}
+
+	fmt.Println("\npruning interval sweep (PI = k·tREFI):")
+	fmt.Printf("  %4s %8s %8s %8s\n", "k", "thPI", "maxact", "entries")
+	for _, k := range []int{1, 2, 4, 8} {
+		cfg := twice.NewTWiCeConfig(p)
+		cfg.PruneEvery = k
+		fmt.Printf("  %4d %8d %8d %8d\n", k, cfg.ThPI(), cfg.MaxACT(), cfg.TableBound())
+	}
+
+	narrow, wide := base.SeparatedSizing()
+	a := twice.AreaModel(base)
+	uniformBytes := (narrow + wide) * a.BitsPerWide / 8
+	fmt.Printf("\nseparated table (§6.2): %d wide (%d-bit) + %d narrow (%d-bit) entries\n",
+		wide, a.BitsPerWide, narrow, a.BitsPerNarrow)
+	fmt.Printf("  %d B vs %d B uniform: %.1f%% storage saved\n",
+		a.TableBytes, uniformBytes, 100*(1-float64(a.TableBytes)/float64(uniformBytes)))
+
+	m := twice.Table3Energy()
+	fmt.Printf("\nenergy constants (Table 3): fa count %.3f nJ vs pa preferred %.3f nJ (%.0f%% cheaper)\n",
+		m.FACount.NanoJ, m.PACountPreferred.NanoJ, 100*(1-m.PACountPreferred.NanoJ/m.FACount.NanoJ))
+	fmt.Printf("  one DRAM ACT+PRE costs %.2f nJ — counting adds %.2f%%\n",
+		m.DRAMActPre.NanoJ, 100*m.FACount.NanoJ/m.DRAMActPre.NanoJ)
+}

@@ -1,0 +1,78 @@
+package clock
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnitsCompose(t *testing.T) {
+	if Nanosecond != 1000*Picosecond {
+		t.Fatalf("ns = %d ps", Nanosecond)
+	}
+	if Microsecond != 1000*Nanosecond {
+		t.Fatalf("µs = %d ns", Microsecond/Nanosecond)
+	}
+	if Millisecond != 1000*Microsecond {
+		t.Fatalf("ms = %d µs", Millisecond/Microsecond)
+	}
+	if Second != 1000*Millisecond {
+		t.Fatalf("s = %d ms", Second/Millisecond)
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0ps"},
+		{500, "500ps"},
+		{Nanosecond, "1ns"},
+		{45 * Nanosecond, "45ns"},
+		{7800 * Nanosecond, "7.8µs"},
+		{350 * Nanosecond, "350ns"},
+		{64 * Millisecond, "64ms"},
+		{2 * Second, "2s"},
+		{-45 * Nanosecond, "-45ns"},
+		{Never, "never"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestNanosecondsSeconds(t *testing.T) {
+	tm := 64 * Millisecond
+	if got := tm.Seconds(); math.Abs(got-0.064) > 1e-12 {
+		t.Errorf("Seconds() = %v, want 0.064", got)
+	}
+	if got := (45 * Nanosecond).Nanoseconds(); math.Abs(got-45) > 1e-12 {
+		t.Errorf("Nanoseconds() = %v, want 45", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Min(3, 5) != 3 || Min(5, 3) != 3 {
+		t.Error("Min broken")
+	}
+	if Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Error("Max broken")
+	}
+	if Min(Never, Second) != Second {
+		t.Error("Never must compare greater than any time")
+	}
+}
+
+func TestMinMaxProperties(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, y := Time(a), Time(b)
+		mn, mx := Min(x, y), Max(x, y)
+		return mn <= mx && (mn == x || mn == y) && (mx == x || mx == y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

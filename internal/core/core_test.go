@@ -1,0 +1,454 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/defense"
+	"repro/internal/dram"
+)
+
+// testParams returns a scaled-down configuration for fast unit tests:
+// maxlife 16, thPI 4, maxact 20, table bound 36.
+func testParams() dram.Params {
+	p := dram.DDR4_2400()
+	p.Channels = 1
+	p.RanksPerChannel = 1
+	p.BanksPerRank = 1
+	p.BankGroups = 1
+	p.RowsPerBank = 4096
+	p.SpareRowsPerBank = 16
+	p.TREFW = 16 * clock.Microsecond // maxlife = 16
+	p.TREFI = 1 * clock.Microsecond
+	p.TRFC = 100 * clock.Nanosecond // maxact = (1µs−100ns)/45ns = 20
+	p.NTh = 1024
+	return p
+}
+
+func testConfig(org Org) Config {
+	cfg := NewConfig(testParams())
+	cfg.ThRH = 64 // thPI = 64/16 = 4
+	cfg.Org = org
+	cfg.Ways = 8
+	return cfg
+}
+
+func bank0() dram.BankID { return dram.BankID{} }
+
+func TestTable2Derivations(t *testing.T) {
+	// The headline Table 2 values for the real DDR4-2400 configuration.
+	cfg := NewConfig(dram.DDR4_2400())
+	if got := cfg.ThPI(); got != 4 {
+		t.Errorf("thPI = %d, want 4", got)
+	}
+	if got := cfg.MaxLife(); got != 8192 {
+		t.Errorf("maxlife = %d, want 8192", got)
+	}
+	if got := cfg.MaxACT(); got != 165 {
+		t.Errorf("maxact = %d, want 165", got)
+	}
+	if got := cfg.TableBound(); got != 556 {
+		t.Errorf("table bound = %d, want 556 (paper: 553 with different leftover accounting)", got)
+	}
+	narrow, wide := cfg.SeparatedSizing()
+	if narrow != 124 {
+		t.Errorf("narrow entries = %d, want 124 (paper §6.2)", narrow)
+	}
+	if wide != 432 {
+		t.Errorf("wide entries = %d, want 432 (paper: 429)", wide)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := testConfig(PA)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := good
+	bad.ThRH = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative thRH accepted")
+	}
+	bad = good
+	bad.ThRH = 8 // below maxlife 16 → thPI 0
+	if err := bad.Validate(); err == nil {
+		t.Error("thRH below maxlife accepted")
+	}
+	bad = good
+	bad.DRAM.NTh = 100 // 4·thRH = 256 > 100
+	if err := bad.Validate(); err == nil {
+		t.Error("thRH above Nth/4 accepted")
+	}
+	bad = good
+	bad.PruneEvery = -2
+	if err := bad.Validate(); err == nil {
+		t.Error("negative PruneEvery accepted")
+	}
+}
+
+func TestOrgString(t *testing.T) {
+	if FA.String() != "fa" || PA.String() != "pa" || Separated.String() != "sep" {
+		t.Error("org names wrong")
+	}
+	if Org(9).String() != "Org(9)" {
+		t.Error("unknown org name wrong")
+	}
+}
+
+func TestDetectionAtThreshold(t *testing.T) {
+	for _, org := range []Org{FA, PA, Separated} {
+		tw, err := New(testConfig(org))
+		if err != nil {
+			t.Fatal(err)
+		}
+		thRH := tw.Config().ThRH
+		var detected int
+		for i := 0; i < thRH; i++ {
+			a := tw.OnActivate(bank0(), 7, 0)
+			if a.Detected {
+				detected = i + 1
+				if len(a.ARRAggressors) != 1 || a.ARRAggressors[0] != 7 {
+					t.Errorf("%v: ARR aggressors = %v, want [7]", org, a.ARRAggressors)
+				}
+			}
+		}
+		if detected != thRH {
+			t.Errorf("%v: detected at ACT %d, want exactly thRH = %d", org, detected, thRH)
+		}
+		// Entry deallocated on detection: the row restarts from scratch.
+		if _, ok := tw.TableFor(bank0()).Lookup(7); ok {
+			t.Errorf("%v: entry still tracked after detection", org)
+		}
+		if tw.Detections() != 1 {
+			t.Errorf("%v: detections = %d, want 1", org, tw.Detections())
+		}
+	}
+}
+
+func TestNoDetectionBelowThreshold(t *testing.T) {
+	tw, err := New(testConfig(FA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tw.Config().ThRH-1; i++ {
+		if a := tw.OnActivate(bank0(), 3, 0); a.Detected {
+			t.Fatalf("detected at ACT %d, below thRH", i+1)
+		}
+	}
+}
+
+func TestPruneRule(t *testing.T) {
+	// A row with exactly thPI ACTs per PI survives; one below is pruned.
+	tw, err := New(testConfig(FA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	thPI := tw.Config().ThPI()
+	// Row 1: thPI ACTs per PI (survivor); row 2: thPI−1 per PI (pruned).
+	for i := 0; i < thPI; i++ {
+		tw.OnActivate(bank0(), 1, 0)
+	}
+	for i := 0; i < thPI-1; i++ {
+		tw.OnActivate(bank0(), 2, 0)
+	}
+	tw.OnRefreshTick(bank0(), 0)
+	tb := tw.TableFor(bank0())
+	e1, ok1 := tb.Lookup(1)
+	if !ok1 {
+		t.Fatal("row meeting thPI was pruned")
+	}
+	if e1.Life != 2 {
+		t.Errorf("survivor life = %d, want 2", e1.Life)
+	}
+	if _, ok := tb.Lookup(2); ok {
+		t.Error("row below thPI survived the prune")
+	}
+	// Second interval: the survivor now needs 2·thPI cumulative.
+	for i := 0; i < thPI-1; i++ {
+		tw.OnActivate(bank0(), 1, 0)
+	}
+	tw.OnRefreshTick(bank0(), 0)
+	if _, ok := tb.Lookup(1); ok {
+		t.Error("row below cumulative thPI·life survived the second prune")
+	}
+}
+
+func TestSlowAttackStillDetected(t *testing.T) {
+	// The §4.3 guarantee: a row activated at exactly thPI per PI is never
+	// pruned and is detected once its cumulative count reaches thRH, even
+	// though it is never "hot" in any single interval.
+	tw, err := New(testConfig(FA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tw.Config()
+	acts, detected := 0, false
+	for pi := 0; pi < cfg.MaxLife() && !detected; pi++ {
+		for i := 0; i < cfg.ThPI(); i++ {
+			acts++
+			if a := tw.OnActivate(bank0(), 9, 0); a.Detected {
+				detected = true
+				break
+			}
+		}
+		if !detected {
+			tw.OnRefreshTick(bank0(), 0)
+		}
+	}
+	if !detected {
+		t.Fatalf("slow attack undetected after %d ACTs (thRH = %d)", acts, cfg.ThRH)
+	}
+	if acts != cfg.ThRH {
+		t.Errorf("detected after %d ACTs, want exactly thRH = %d", acts, cfg.ThRH)
+	}
+}
+
+func TestTheoremCombinedCountBelowTwiceThRH(t *testing.T) {
+	// §4.3: over one refresh window a row can accumulate at most
+	// 2·thRH − 1 ACTs without detection: up to thRH−1 while untracked
+	// (pruned away) plus up to thRH−1 while tracked... combined < 2·thRH.
+	// Adversary strategy: alternate "thPI−1 per PI" (pruned every interval)
+	// as long as possible, then burst.
+	tw, err := New(testConfig(FA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tw.Config()
+	total, detected := 0, false
+	for pi := 0; pi < cfg.MaxLife(); pi++ {
+		for i := 0; i < cfg.ThPI()-1; i++ { // stay under the prune bar
+			total++
+			if a := tw.OnActivate(bank0(), 5, 0); a.Detected {
+				detected = true
+			}
+		}
+		tw.OnRefreshTick(bank0(), 0)
+	}
+	// Now burst to the detection threshold.
+	for !detected && total < 2*cfg.ThRH+10 {
+		total++
+		if a := tw.OnActivate(bank0(), 5, 0); a.Detected {
+			detected = true
+		}
+	}
+	if !detected {
+		t.Fatalf("no detection after %d ACTs", total)
+	}
+	if total >= 2*cfg.ThRH {
+		t.Errorf("row accumulated %d ACTs before detection, theorem bound is < 2·thRH = %d", total, 2*cfg.ThRH)
+	}
+}
+
+func TestOrganizationEquivalence(t *testing.T) {
+	// All three organizations must produce identical counting behaviour:
+	// same detections at the same stream positions and identical table
+	// contents after any interleaving of ACTs and prune ticks.
+	cfgs := []Config{testConfig(FA), testConfig(PA), testConfig(Separated)}
+	for seed := int64(0); seed < 5; seed++ {
+		engines := make([]*TWiCe, len(cfgs))
+		for i, c := range cfgs {
+			var err error
+			engines[i], err = New(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		rng := rand.New(rand.NewSource(seed))
+		maxact := cfgs[0].MaxACT()
+		actsSincePrune := 0
+		for step := 0; step < 20000; step++ {
+			// Respect DRAM pacing: at most maxact ACTs per pruning interval
+			// (the premise of the §4.4 sizing theorem), plus random early
+			// prune ticks.
+			if actsSincePrune >= maxact || rng.Intn(100) == 0 {
+				for _, e := range engines {
+					e.OnRefreshTick(bank0(), 0)
+				}
+				actsSincePrune = 0
+				continue
+			}
+			actsSincePrune++
+			var row int
+			if rng.Intn(4) == 0 {
+				row = rng.Intn(8) // hot rows
+			} else {
+				row = rng.Intn(2000)
+			}
+			var first defense.Action
+			for i, e := range engines {
+				a := e.OnActivate(bank0(), row, 0)
+				if i == 0 {
+					first = a
+				} else if a.Detected != first.Detected {
+					t.Fatalf("seed %d step %d: %s detection diverges from fa", seed, step, e.Name())
+				}
+			}
+		}
+		base := snapshotSorted(engines[0].TableFor(bank0()))
+		for _, e := range engines[1:] {
+			got := snapshotSorted(e.TableFor(bank0()))
+			if len(got) != len(base) {
+				t.Fatalf("seed %d: %s table has %d entries, fa has %d", seed, e.Name(), len(got), len(base))
+			}
+			for i := range base {
+				if got[i] != base[i] {
+					t.Fatalf("seed %d: %s entry %d = %+v, fa has %+v", seed, e.Name(), i, got[i], base[i])
+				}
+			}
+		}
+	}
+}
+
+func snapshotSorted(tb Table) []Entry {
+	s := tb.Snapshot()
+	sort.Slice(s, func(i, j int) bool { return s[i].Row < s[j].Row })
+	return s
+}
+
+func TestTableBoundNeverExceeded(t *testing.T) {
+	// Adversarial occupancy maximisation: each PI, spread exactly maxact
+	// ACTs to keep as many entries alive as possible, preferring to keep
+	// old survivors at their minimum and fill the rest with fresh rows.
+	for _, org := range []Org{FA, PA, Separated} {
+		cfg := testConfig(org)
+		tw, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := cfg.TableBound()
+		thPI, maxact := cfg.ThPI(), cfg.MaxACT()
+		nextRow := 0
+		for pi := 0; pi < 3*cfg.MaxLife(); pi++ {
+			budget := maxact
+			// Keep every current survivor exactly at its survival bar.
+			entries := snapshotSorted(tw.TableFor(bank0()))
+			sort.Slice(entries, func(i, j int) bool { return entries[i].Life > entries[j].Life })
+			for _, e := range entries {
+				need := thPI*e.Life - e.ActCnt
+				if need <= 0 || need > budget {
+					continue
+				}
+				for i := 0; i < need; i++ {
+					tw.OnActivate(bank0(), e.Row, 0)
+				}
+				budget -= need
+			}
+			// Spend the remainder on fresh rows, thPI each so they survive.
+			for budget >= thPI {
+				for i := 0; i < thPI; i++ {
+					tw.OnActivate(bank0(), 100000+nextRow, 0)
+				}
+				nextRow++
+				budget -= thPI
+			}
+			for i := 0; i < budget; i++ { // dribble the leftover ACTs
+				tw.OnActivate(bank0(), 100000+nextRow, 0)
+			}
+			nextRow++
+			if got := tw.TableFor(bank0()).Len(); got > bound {
+				t.Fatalf("%v: occupancy %d exceeds bound %d at PI %d", org, got, bound, pi)
+			}
+			tw.OnRefreshTick(bank0(), 0)
+		}
+		peak := tw.Ops().PeakOccupancy
+		t.Logf("%v: peak occupancy %d of bound %d", org, peak, bound)
+		if peak > bound {
+			t.Fatalf("%v: peak occupancy %d exceeds bound %d", org, peak, bound)
+		}
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	tw, err := New(testConfig(PA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		tw.OnActivate(bank0(), i, 0)
+	}
+	if tw.TableFor(bank0()).Len() == 0 {
+		t.Fatal("setup failed")
+	}
+	tw.Reset()
+	if got := tw.TableFor(bank0()).Len(); got != 0 {
+		t.Errorf("table has %d entries after reset", got)
+	}
+}
+
+func TestPruneEveryStretchesInterval(t *testing.T) {
+	cfg := testConfig(FA)
+	cfg.PruneEvery = 4
+	cfg.ThRH = 256 // keep thPI = 256/(16/4) = ... maxlife = 16/4 = 4; thPI = 64
+	tw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw.OnActivate(bank0(), 1, 0)
+	for i := 0; i < 3; i++ {
+		tw.OnRefreshTick(bank0(), 0)
+		if _, ok := tw.TableFor(bank0()).Lookup(1); !ok {
+			t.Fatalf("pruned at tick %d, before PruneEvery = 4", i+1)
+		}
+	}
+	tw.OnRefreshTick(bank0(), 0)
+	if _, ok := tw.TableFor(bank0()).Lookup(1); ok {
+		t.Error("cold row survived the stretched pruning interval")
+	}
+}
+
+func TestMultiBankIndependence(t *testing.T) {
+	p := testParams()
+	p.BanksPerRank = 2
+	p.BankGroups = 1
+	cfg := NewConfig(p)
+	cfg.ThRH = 64
+	tw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b0 := dram.BankID{Bank: 0}
+	b1 := dram.BankID{Bank: 1}
+	for i := 0; i < 63; i++ {
+		tw.OnActivate(b0, 7, 0)
+	}
+	// Bank 1's counter for the same row index is independent.
+	if a := tw.OnActivate(b1, 7, 0); a.Detected {
+		t.Fatal("bank 1 detection from bank 0 counts")
+	}
+	if a := tw.OnActivate(b0, 7, 0); !a.Detected {
+		t.Fatal("bank 0 should detect at thRH")
+	}
+}
+
+func TestOverflowDegradesToImmediateARR(t *testing.T) {
+	// A caller that outruns DRAM pacing can fill the table; the engine must
+	// not lose protection — untrackable rows get an immediate conservative
+	// ARR rather than going unmonitored.
+	cfg := testConfig(FA)
+	tw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := cfg.TableBound()
+	for r := 0; r < bound; r++ {
+		if a := tw.OnActivate(bank0(), r, 0); !a.Empty() {
+			t.Fatalf("unexpected action while filling: %+v", a)
+		}
+	}
+	a := tw.OnActivate(bank0(), bound+1, 0)
+	if len(a.ARRAggressors) != 1 || a.ARRAggressors[0] != bound+1 {
+		t.Errorf("overflow action = %+v, want immediate ARR for the row", a)
+	}
+	if a.Detected {
+		t.Error("overflow must not count as an attack detection")
+	}
+}
+
+func TestNameIncludesOrg(t *testing.T) {
+	tw, _ := New(testConfig(PA))
+	if tw.Name() != "TWiCe-pa" {
+		t.Errorf("Name() = %q", tw.Name())
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func populate(t *testing.T, tw *TWiCe, seed int64, steps int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	maxact := tw.Config().MaxACT()
+	acts := 0
+	for i := 0; i < steps; i++ {
+		row := rng.Intn(800)
+		if rng.Intn(4) == 0 {
+			row = rng.Intn(8)
+		}
+		tw.OnActivate(bank0(), row, 0)
+		acts++
+		if acts >= maxact {
+			tw.OnRefreshTick(bank0(), 0)
+			acts = 0
+		}
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	for _, org := range []Org{FA, PA, Separated} {
+		src, err := New(testConfig(org))
+		if err != nil {
+			t.Fatal(err)
+		}
+		populate(t, src, 7, 5000)
+
+		var buf bytes.Buffer
+		if err := src.WriteState(&buf); err != nil {
+			t.Fatalf("%v: %v", org, err)
+		}
+		dst, err := New(testConfig(org))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dst.ReadState(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("%v: %v", org, err)
+		}
+
+		a := snapshotSorted(src.TableFor(bank0()))
+		b := snapshotSorted(dst.TableFor(bank0()))
+		if len(a) != len(b) {
+			t.Fatalf("%v: restored %d entries, want %d", org, len(b), len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: entry %d = %+v, want %+v", org, i, b[i], a[i])
+			}
+		}
+		if src.Detections() != dst.Detections() {
+			t.Errorf("%v: detections %d vs %d", org, dst.Detections(), src.Detections())
+		}
+	}
+}
+
+func TestCheckpointResumesIdentically(t *testing.T) {
+	// Running N more steps on the original and on a restored copy must
+	// produce identical detection behaviour and tables.
+	src, err := New(testConfig(PA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	populate(t, src, 11, 4000)
+	var buf bytes.Buffer
+	if err := src.WriteState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := New(testConfig(PA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.ReadState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rngA := rand.New(rand.NewSource(99))
+	rngB := rand.New(rand.NewSource(99))
+	for i := 0; i < 4000; i++ {
+		rowA, rowB := rngA.Intn(16), rngB.Intn(16)
+		da := src.OnActivate(bank0(), rowA, 0).Detected
+		db := dst.OnActivate(bank0(), rowB, 0).Detected
+		if da != db {
+			t.Fatalf("diverged at step %d", i)
+		}
+		if i%50 == 49 {
+			src.OnRefreshTick(bank0(), 0)
+			dst.OnRefreshTick(bank0(), 0)
+		}
+	}
+}
+
+func TestCheckpointRejectsMismatch(t *testing.T) {
+	src, _ := New(testConfig(FA))
+	populate(t, src, 3, 1000)
+	var buf bytes.Buffer
+	if err := src.WriteState(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	wrongOrg, _ := New(testConfig(PA))
+	if err := wrongOrg.ReadState(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("organization mismatch accepted")
+	} else if !strings.Contains(err.Error(), "mismatch") {
+		t.Errorf("error = %v, want mismatch", err)
+	}
+
+	other := testConfig(FA)
+	other.ThRH = 128
+	other.DRAM.NTh = 4 * 128
+	wrongTh, err := New(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wrongTh.ReadState(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("threshold mismatch accepted")
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	tw, _ := New(testConfig(FA))
+	if err := tw.ReadState(bytes.NewReader([]byte("NOTACHECKPOINT"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if err := tw.ReadState(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestRestoreKeepsSortedEquivalence(t *testing.T) {
+	// Restore through each organization preserves the multiset of entries
+	// regardless of internal placement.
+	entries := []Entry{{Row: 5, ActCnt: 7, Life: 2}, {Row: 9, ActCnt: 3, Life: 1}, {Row: 500, ActCnt: 40, Life: 9}}
+	for name, tb := range map[string]Table{
+		"fa":  newFATable(8),
+		"pa":  newPATable(8, 2),
+		"sep": newSepTable(2, 6, 4),
+	} {
+		for _, e := range entries {
+			if err := tb.Restore(e); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+		got := tb.Snapshot()
+		sort.Slice(got, func(i, j int) bool { return got[i].Row < got[j].Row })
+		want := append([]Entry(nil), entries...)
+		sort.Slice(want, func(i, j int) bool { return want[i].Row < want[j].Row })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: entry %d = %+v, want %+v", name, i, got[i], want[i])
+			}
+		}
+	}
+}

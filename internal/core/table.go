@@ -1,0 +1,186 @@
+package core
+
+import "fmt"
+
+// Entry is one TWiCe counter-table entry (Figure 3 of the paper): the row it
+// tracks, the activation count accumulated since insertion, and the number of
+// consecutive pruning intervals the entry has stayed valid.
+type Entry struct {
+	Row    int
+	ActCnt int
+	Life   int
+}
+
+// OpStats counts table operations for the energy model (Table 3): searches
+// performed, how many sets each search touched (pa-TWiCe), insertions, and
+// prune-time table updates.
+type OpStats struct {
+	Searches      int64 // lookup operations (one per ACT)
+	SetsProbed    int64 // total sets examined across all searches (fa: 1 per search)
+	PreferredHits int64 // pa-TWiCe searches satisfied by the preferred set alone
+	Inserts       int64
+	Removes       int64
+	Prunes        int64 // prune passes (one table update per auto-refresh)
+	EntriesPruned int64
+	PeakOccupancy int // high-water mark of valid entries
+}
+
+// Table is one per-bank TWiCe counter table. Implementations differ only in
+// physical organization (fully-associative CAM, pseudo-associative SRAM,
+// separated sub-tables); their visible counting behaviour must be identical,
+// which the equivalence property tests enforce.
+type Table interface {
+	// Touch searches for the row and, if tracked, increments its activation
+	// count, returning the post-increment entry. It returns false for
+	// untracked rows.
+	Touch(row int) (Entry, bool)
+	// Lookup returns the entry for row without side effects (test and
+	// report hook; does not count as a search in the energy model).
+	Lookup(row int) (Entry, bool)
+	// Insert adds a fresh entry (ActCnt 1, Life 1) for an untracked row.
+	// It fails only if the table is full — which the sizing theorem
+	// (§4.4) guarantees cannot happen for a correctly sized table.
+	Insert(row int) error
+	// Remove invalidates the entry for row, if present.
+	Remove(row int)
+	// Prune applies the end-of-interval rule: entries with
+	// ActCnt < thPI×Life are invalidated; survivors get Life+1.
+	// It returns the number of entries invalidated.
+	Prune(thPI int) int
+	// Len returns the number of valid entries; Cap the capacity.
+	Len() int
+	Cap() int
+	// Restore inserts an entry with explicit counts (checkpoint loading).
+	Restore(e Entry) error
+	// Snapshot returns a copy of all valid entries in unspecified order.
+	Snapshot() []Entry
+	// Ops returns operation counters since construction.
+	Ops() OpStats
+}
+
+// faTable is the fully-associative organization (fa-TWiCe): conceptually a
+// CAM over row_addr searched in parallel. The simulator realises it as a
+// dense entry pool with a row index map; the CAM cost shows up only in the
+// energy model, not in behaviour.
+type faTable struct {
+	entries []Entry
+	valid   []bool
+	free    []int
+	index   map[int]int // row -> slot
+	ops     OpStats
+}
+
+// newFATable builds a fully-associative table with the given capacity.
+func newFATable(capacity int) *faTable {
+	t := &faTable{
+		entries: make([]Entry, capacity),
+		valid:   make([]bool, capacity),
+		free:    make([]int, 0, capacity),
+		index:   make(map[int]int, capacity),
+	}
+	for i := capacity - 1; i >= 0; i-- {
+		t.free = append(t.free, i)
+	}
+	return t
+}
+
+func (t *faTable) Touch(row int) (Entry, bool) {
+	t.ops.Searches++
+	t.ops.SetsProbed++
+	i, ok := t.index[row]
+	if !ok {
+		return Entry{}, false
+	}
+	t.entries[i].ActCnt++
+	return t.entries[i], true
+}
+
+func (t *faTable) Lookup(row int) (Entry, bool) {
+	if i, ok := t.index[row]; ok {
+		return t.entries[i], true
+	}
+	return Entry{}, false
+}
+
+func (t *faTable) Insert(row int) error {
+	if _, ok := t.index[row]; ok {
+		return fmt.Errorf("core: insert of already-tracked row %d", row)
+	}
+	if len(t.free) == 0 {
+		return fmt.Errorf("core: fa table full (%d entries); sizing invariant violated", len(t.entries))
+	}
+	i := t.free[len(t.free)-1]
+	t.free = t.free[:len(t.free)-1]
+	t.entries[i] = Entry{Row: row, ActCnt: 1, Life: 1}
+	t.valid[i] = true
+	t.index[row] = i
+	t.ops.Inserts++
+	if n := len(t.index); n > t.ops.PeakOccupancy {
+		t.ops.PeakOccupancy = n
+	}
+	return nil
+}
+
+// Restore implements Table: insert with explicit counts.
+func (t *faTable) Restore(e Entry) error {
+	if err := t.Insert(e.Row); err != nil {
+		return err
+	}
+	t.set(e.Row, e)
+	return nil
+}
+
+// set overwrites the stored entry for a tracked row; used by the separated
+// table to move an entry between sub-tables without resetting its counts.
+func (t *faTable) set(row int, e Entry) {
+	if i, ok := t.index[row]; ok {
+		t.entries[i] = e
+	}
+}
+
+func (t *faTable) Remove(row int) {
+	i, ok := t.index[row]
+	if !ok {
+		return
+	}
+	delete(t.index, row)
+	t.valid[i] = false
+	t.free = append(t.free, i)
+	t.ops.Removes++
+}
+
+func (t *faTable) Prune(thPI int) int {
+	pruned := 0
+	for i := range t.entries {
+		if !t.valid[i] {
+			continue
+		}
+		e := &t.entries[i]
+		if e.ActCnt < thPI*e.Life {
+			delete(t.index, e.Row)
+			t.valid[i] = false
+			t.free = append(t.free, i)
+			pruned++
+		} else {
+			e.Life++
+		}
+	}
+	t.ops.Prunes++
+	t.ops.EntriesPruned += int64(pruned)
+	return pruned
+}
+
+func (t *faTable) Len() int { return len(t.index) }
+func (t *faTable) Cap() int { return len(t.entries) }
+
+func (t *faTable) Snapshot() []Entry {
+	out := make([]Entry, 0, len(t.index))
+	for i, v := range t.valid {
+		if v {
+			out = append(out, t.entries[i])
+		}
+	}
+	return out
+}
+
+func (t *faTable) Ops() OpStats { return t.ops }

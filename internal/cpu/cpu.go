@@ -1,0 +1,139 @@
+// Package cpu provides the application-level core model: each core turns a
+// workload generator's access stream into timed memory traffic, hiding miss
+// latency behind a bounded amount of memory-level parallelism the way the
+// paper's out-of-order cores do (McSimA+'s "application-level+" fidelity).
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/workload"
+)
+
+// Config describes the core's execution parameters (Table 4).
+type Config struct {
+	FreqGHz float64 // core clock (3.6 GHz)
+	IPC     float64 // sustained non-memory IPC (4-wide issue ≈ 2.0 effective)
+	MLP     int     // maximum outstanding demand misses per core
+}
+
+// DefaultConfig returns the Table 4 core: 3.6 GHz, effective IPC 2, MLP 10.
+func DefaultConfig() Config {
+	return Config{FreqGHz: 3.6, IPC: 2.0, MLP: 10}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.FreqGHz <= 0:
+		return fmt.Errorf("cpu: frequency must be positive, got %v", c.FreqGHz)
+	case c.IPC <= 0:
+		return fmt.Errorf("cpu: IPC must be positive, got %v", c.IPC)
+	case c.MLP < 1:
+		return fmt.Errorf("cpu: MLP must be at least 1, got %d", c.MLP)
+	}
+	return nil
+}
+
+// Core is one simulated hardware thread.
+type Core struct {
+	ID  int
+	cfg Config
+	gen workload.Generator
+
+	nextIssue   clock.Time
+	outstanding int
+	deferred    *workload.Access // access that could not enter the MC queue
+
+	instructions int64
+	accesses     int64
+	stallRetries int64
+}
+
+// New builds a core over the given generator.
+func New(id int, cfg Config, gen workload.Generator) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if gen == nil {
+		return nil, fmt.Errorf("cpu: core %d has no generator", id)
+	}
+	return &Core{ID: id, cfg: cfg, gen: gen}, nil
+}
+
+// Instructions returns the instructions executed so far.
+func (c *Core) Instructions() int64 { return c.instructions }
+
+// Accesses returns the memory accesses issued so far.
+func (c *Core) Accesses() int64 { return c.accesses }
+
+// Outstanding returns the in-flight demand misses.
+func (c *Core) Outstanding() int { return c.outstanding }
+
+// NextEventTime returns when the core can next act: its issue time when it
+// has MLP headroom, or Never while the window is full (completion callbacks
+// reopen it).
+func (c *Core) NextEventTime() clock.Time {
+	if c.outstanding >= c.cfg.MLP {
+		return clock.Never
+	}
+	return c.nextIssue
+}
+
+// gapTime converts an instruction gap to core time.
+func (c *Core) gapTime(gap int) clock.Time {
+	ps := float64(gap) / c.cfg.IPC * 1000.0 / c.cfg.FreqGHz
+	t := clock.Time(ps)
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// Take produces the core's next access at time now, advancing execution by
+// the access's instruction gap. Callers must respect NextEventTime.
+func (c *Core) Take(now clock.Time) workload.Access {
+	var a workload.Access
+	if c.deferred != nil {
+		a = *c.deferred
+		c.deferred = nil
+		c.stallRetries++
+	} else {
+		a = c.gen.Next()
+		c.instructions += int64(a.Gap)
+		c.accesses++
+	}
+	if now > c.nextIssue {
+		c.nextIssue = now
+	}
+	c.nextIssue += c.gapTime(a.Gap)
+	return a
+}
+
+// Defer hands back an access that could not be accepted (full MC queue); the
+// core retries it no earlier than retryAt.
+func (c *Core) Defer(a workload.Access, retryAt clock.Time) {
+	c.deferred = &a
+	if retryAt > c.nextIssue {
+		c.nextIssue = retryAt
+	}
+}
+
+// OnHit accounts a cache hit: execution simply absorbs the hit latency.
+func (c *Core) OnHit(latency clock.Time) {
+	c.nextIssue += latency
+}
+
+// OnMiss accounts a demand miss entering the memory system: the core keeps
+// running until its MLP window fills.
+func (c *Core) OnMiss() {
+	c.outstanding++
+}
+
+// OnComplete accounts a returning demand miss.
+func (c *Core) OnComplete() {
+	if c.outstanding > 0 {
+		c.outstanding--
+	}
+}

@@ -1,0 +1,114 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/workload"
+)
+
+// fixedGen emits a fixed-gap stream of incrementing addresses.
+type fixedGen struct {
+	gap  int
+	next uint64
+}
+
+func (g *fixedGen) Name() string { return "fixed" }
+func (g *fixedGen) Next() workload.Access {
+	g.next += 64
+	return workload.Access{Addr: g.next, Gap: g.gap}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, mut := range []func(*Config){
+		func(c *Config) { c.FreqGHz = 0 },
+		func(c *Config) { c.IPC = -1 },
+		func(c *Config) { c.MLP = 0 },
+	} {
+		c := DefaultConfig()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("invalid config accepted: %+v", c)
+		}
+	}
+	if _, err := New(0, DefaultConfig(), nil); err == nil {
+		t.Error("nil generator accepted")
+	}
+}
+
+func TestGapAdvancesIssueTime(t *testing.T) {
+	cfg := Config{FreqGHz: 2.0, IPC: 2.0, MLP: 4}
+	c, err := New(0, cfg, &fixedGen{gap: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NextEventTime() != 0 {
+		t.Fatal("fresh core not ready at 0")
+	}
+	c.Take(0)
+	// 100 instructions / 2 IPC = 50 cycles at 2 GHz = 25 ns.
+	if got := c.NextEventTime(); got != 25*clock.Nanosecond {
+		t.Errorf("next issue = %v, want 25ns", got)
+	}
+	if c.Instructions() != 100 || c.Accesses() != 1 {
+		t.Errorf("instructions=%d accesses=%d", c.Instructions(), c.Accesses())
+	}
+}
+
+func TestMLPWindowBlocks(t *testing.T) {
+	cfg := Config{FreqGHz: 1, IPC: 1, MLP: 2}
+	c, _ := New(0, cfg, &fixedGen{gap: 1})
+	c.Take(0)
+	c.OnMiss()
+	c.Take(0)
+	c.OnMiss()
+	if c.NextEventTime() != clock.Never {
+		t.Fatal("full MLP window still schedulable")
+	}
+	c.OnComplete()
+	if c.NextEventTime() == clock.Never {
+		t.Fatal("completion did not reopen the window")
+	}
+	if c.Outstanding() != 1 {
+		t.Errorf("outstanding = %d", c.Outstanding())
+	}
+}
+
+func TestDeferRetriesSameAccess(t *testing.T) {
+	cfg := Config{FreqGHz: 1, IPC: 1, MLP: 4}
+	c, _ := New(0, cfg, &fixedGen{gap: 1})
+	a := c.Take(0)
+	c.Defer(a, 500*clock.Nanosecond)
+	if got := c.NextEventTime(); got != 500*clock.Nanosecond {
+		t.Errorf("retry time = %v, want 500ns", got)
+	}
+	b := c.Take(500 * clock.Nanosecond)
+	if b.Addr != a.Addr || b.Write != a.Write {
+		t.Errorf("retried access %+v, want %+v", b, a)
+	}
+	if c.Accesses() != 1 {
+		t.Errorf("accesses = %d; a deferred retry must not count twice", c.Accesses())
+	}
+}
+
+func TestHitLatencyAbsorbed(t *testing.T) {
+	cfg := Config{FreqGHz: 1, IPC: 1, MLP: 4}
+	c, _ := New(0, cfg, &fixedGen{gap: 1})
+	c.Take(0)
+	base := c.NextEventTime()
+	c.OnHit(10 * clock.Nanosecond)
+	if got := c.NextEventTime(); got != base+10*clock.Nanosecond {
+		t.Errorf("issue time = %v, want %v", got, base+10*clock.Nanosecond)
+	}
+}
+
+func TestOnCompleteFloorsAtZero(t *testing.T) {
+	c, _ := New(0, DefaultConfig(), &fixedGen{gap: 1})
+	c.OnComplete() // spurious completion must not wrap
+	if c.Outstanding() != 0 {
+		t.Errorf("outstanding = %d", c.Outstanding())
+	}
+}

@@ -1,0 +1,297 @@
+// Package cbt implements the Counter-Based Tree row-hammer mitigation
+// (Seyedzadeh, Jones, Melhem — IEEE CAL 2017 / ISCA 2018), the strongest
+// counter-based baseline the TWiCe paper compares against.
+//
+// A bounded pool of counters is organised as a non-uniform binary tree over
+// the bank's row range. Initially one counter covers every row. When a
+// counter crosses its level's sub-threshold and a free counter is available,
+// it splits into two children, each initialised to the parent's count (the
+// paper's double-counting artefact). When a counter reaches the top
+// threshold, every row in its range must be refreshed — which on adversarial
+// patterns covers thousands of rows at once, the refresh-burst weakness
+// TWiCe's evaluation exposes with workload S2. The tree resets every tREFW.
+//
+// An optional extension (Config.Rebalance) reclaims counters under pressure:
+// when a split is needed but no counter is free, the coldest mergeable leaf
+// pair is folded back into its parent (keeping the maximum child count, so no
+// activation evidence is lost). The paper's CBT has no reclamation — splits
+// simply stop when the pool is empty, which is exactly what its adversarial
+// workload S2 exploits — so Rebalance defaults to off; turning it on shows
+// how much of the S2 weakness a smarter CBT could recover.
+package cbt
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/defense"
+	"repro/internal/dram"
+)
+
+// Config parameterises a CBT instance.
+type Config struct {
+	// Counters is the pool size per bank (the paper evaluates CBT-256).
+	Counters int
+	// Threshold is the top refresh threshold (32K in the evaluation).
+	Threshold int
+	// Levels is the number of tree levels / sub-thresholds (11 in the
+	// evaluation: the deepest counter covers rows/2^(Levels-1) rows).
+	Levels int
+	// Rebalance enables the merge-based counter reclamation extension
+	// (off in the paper's design).
+	Rebalance bool
+	// DRAM supplies geometry and the refresh-window reset cadence.
+	DRAM dram.Params
+}
+
+// NewConfig returns the paper's CBT-256 configuration: 256 counters,
+// threshold 32K, 11 levels.
+func NewConfig(p dram.Params) Config {
+	return Config{Counters: 256, Threshold: 32768, Levels: 11, DRAM: p}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Counters < 1:
+		return fmt.Errorf("cbt: counter pool must be positive, got %d", c.Counters)
+	case c.Threshold < 2:
+		return fmt.Errorf("cbt: threshold too small: %d", c.Threshold)
+	case c.Levels < 1:
+		return fmt.Errorf("cbt: need at least one level, got %d", c.Levels)
+	case 1<<(c.Levels-1) > c.DRAM.RowsPerBank:
+		return fmt.Errorf("cbt: %d levels too deep for %d rows", c.Levels, c.DRAM.RowsPerBank)
+	}
+	return c.DRAM.Validate()
+}
+
+// subThreshold returns the split threshold for a node at the given 0-based
+// level: geometrically spaced (halving per level up from the top threshold),
+// so the tree adapts quickly — shallow counters split after a handful of
+// activations and only the deepest level pays the full threshold. This is
+// the schedule that makes the evaluation's S2 behave as described ("access
+// half the rows until all counters split"): with 11 levels the whole pool is
+// consumed by a plain sweep within one refresh window.
+func (c Config) subThreshold(level int) int {
+	t := c.Threshold >> (c.Levels - 1 - level)
+	if t < 2 {
+		t = 2
+	}
+	return t
+}
+
+// node is one tree node. Leaves own a counter; internal nodes only route.
+type node struct {
+	lo, hi      int // row range [lo, hi)
+	level       int
+	count       int
+	left, right *node // nil for leaves
+	parent      *node
+}
+
+func (n *node) leaf() bool { return n.left == nil }
+
+// bankTree is the per-bank counter tree.
+type bankTree struct {
+	root     *node
+	leaves   int
+	maxDepth int
+}
+
+// CBT implements defense.Defense.
+type CBT struct {
+	cfg        Config
+	trees      []*bankTree
+	ticks      []int // refresh ticks since last tree reset, per bank
+	resetEvery int   // ticks per tREFW
+
+	splits, merges, rangeRefreshes int64
+	detections                     int64
+}
+
+var _ defense.Defense = (*CBT)(nil)
+
+// New builds a CBT engine.
+func New(cfg Config) (*CBT, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.DRAM.TotalBanks()
+	c := &CBT{
+		cfg:        cfg,
+		trees:      make([]*bankTree, n),
+		ticks:      make([]int, n),
+		resetEvery: cfg.DRAM.RefreshTicksPerWindow(),
+	}
+	for i := range c.trees {
+		c.trees[i] = c.newTree()
+	}
+	return c, nil
+}
+
+func (c *CBT) newTree() *bankTree {
+	return &bankTree{
+		root:     &node{lo: 0, hi: c.cfg.DRAM.RowsPerBank},
+		leaves:   1,
+		maxDepth: c.cfg.Levels - 1,
+	}
+}
+
+// Name implements defense.Defense.
+func (c *CBT) Name() string { return fmt.Sprintf("CBT-%d", c.cfg.Counters) }
+
+// find walks to the leaf covering row.
+func (t *bankTree) find(row int) *node {
+	n := t.root
+	for !n.leaf() {
+		if row < n.left.hi {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n
+}
+
+// coldestMergeable returns the internal node with two leaf children whose
+// larger child count is smallest, or nil.
+func (t *bankTree) coldestMergeable() *node {
+	var best *node
+	bestCount := 0
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf() {
+			return
+		}
+		if n.left.leaf() && n.right.leaf() {
+			m := n.left.count
+			if n.right.count > m {
+				m = n.right.count
+			}
+			if best == nil || m < bestCount {
+				best, bestCount = n, m
+			}
+			return
+		}
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(t.root)
+	return best
+}
+
+// split divides a leaf into two children initialised to the parent's count.
+func (c *CBT) split(t *bankTree, n *node) {
+	mid := n.lo + (n.hi-n.lo)/2
+	n.left = &node{lo: n.lo, hi: mid, level: n.level + 1, count: n.count, parent: n}
+	n.right = &node{lo: mid, hi: n.hi, level: n.level + 1, count: n.count, parent: n}
+	t.leaves++
+	c.splits++
+}
+
+// merge folds a mergeable internal node back into a leaf, keeping the larger
+// child count so no activation evidence is discarded.
+func (c *CBT) merge(t *bankTree, n *node) {
+	count := n.left.count
+	if n.right.count > count {
+		count = n.right.count
+	}
+	n.count = count
+	n.left, n.right = nil, nil
+	t.leaves--
+	c.merges++
+}
+
+// OnActivate implements defense.Defense.
+func (c *CBT) OnActivate(bank dram.BankID, row int, _ clock.Time) defense.Action {
+	t := c.trees[bank.Flat(c.cfg.DRAM)]
+	n := t.find(row)
+	n.count++
+
+	// Top threshold: refresh the whole covered range. This is where CBT's
+	// false-positive bursts come from — every row in the group is treated
+	// as a potential victim and the rows adjacent to the range's edges too.
+	if n.count >= c.cfg.Threshold {
+		n.count = 0
+		c.rangeRefreshes++
+		c.detections++
+		victims := make([]int, 0, n.hi-n.lo+2*c.cfg.DRAM.BlastRadius)
+		for r := n.lo - c.cfg.DRAM.BlastRadius; r < n.hi+c.cfg.DRAM.BlastRadius; r++ {
+			if r >= 0 && r < c.cfg.DRAM.RowsPerBank {
+				victims = append(victims, r)
+			}
+		}
+		return defense.Action{LogicalVictims: victims, Detected: true}
+	}
+
+	// Sub-threshold: subdivide hot ranges while counters remain, optionally
+	// merging cold pairs when the pool is exhausted.
+	if n.level < t.maxDepth && n.hi-n.lo > 1 && n.count >= c.cfg.subThreshold(n.level) {
+		if c.cfg.Rebalance && t.leaves >= c.cfg.Counters {
+			if cold := t.coldestMergeable(); cold != nil && cold != n.parent && cold.left != n && cold.right != n {
+				if m := maxChild(cold); m < n.count {
+					c.merge(t, cold)
+				}
+			}
+		}
+		if t.leaves < c.cfg.Counters {
+			c.split(t, n)
+		}
+	}
+	return defense.Action{}
+}
+
+func maxChild(n *node) int {
+	m := n.left.count
+	if n.right.count > m {
+		m = n.right.count
+	}
+	return m
+}
+
+// OnRefreshTick implements defense.Defense: CBT resets its tree every tREFW
+// (the paper's design), which we pace by counting per-bank refresh ticks.
+func (c *CBT) OnRefreshTick(bank dram.BankID, _ clock.Time) {
+	i := bank.Flat(c.cfg.DRAM)
+	c.ticks[i]++
+	if c.ticks[i] >= c.resetEvery {
+		c.ticks[i] = 0
+		c.trees[i] = c.newTree()
+	}
+}
+
+// Reset implements defense.Defense.
+func (c *CBT) Reset() {
+	for i := range c.trees {
+		c.trees[i] = c.newTree()
+		c.ticks[i] = 0
+	}
+}
+
+// Stats returns split/merge/refresh counters for reports.
+func (c *CBT) Stats() (splits, merges, rangeRefreshes, detections int64) {
+	return c.splits, c.merges, c.rangeRefreshes, c.detections
+}
+
+// Leaves returns the current leaf count of a bank's tree (test hook).
+func (c *CBT) Leaves(bank dram.BankID) int {
+	return c.trees[bank.Flat(c.cfg.DRAM)].leaves
+}
+
+// MaxLeafCount returns the largest current leaf count in a bank's tree and
+// that leaf's range size (diagnostic hook).
+func (c *CBT) MaxLeafCount(bank dram.BankID) (count, rangeRows int) {
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf() {
+			if n.count > count {
+				count, rangeRows = n.count, n.hi-n.lo
+			}
+			return
+		}
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(c.trees[bank.Flat(c.cfg.DRAM)].root)
+	return
+}

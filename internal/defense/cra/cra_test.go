@@ -1,0 +1,160 @@
+package cra
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+)
+
+func params() dram.Params {
+	p := dram.DDR4_2400()
+	p.Channels, p.RanksPerChannel, p.BanksPerRank = 1, 1, 1
+	p.BankGroups = 1
+	p.RowsPerBank = 65536
+	return p
+}
+
+func smallConfig() Config {
+	return Config{CacheLines: 16, Ways: 4, CountersPerLine: 4, Threshold: 64, DRAM: params()}
+}
+
+func bank0() dram.BankID { return dram.BankID{} }
+
+func TestConfigValidate(t *testing.T) {
+	if err := NewConfig(dram.DDR4_2400()).Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := smallConfig()
+	bad.Ways = 3 // does not divide 16
+	if err := bad.Validate(); err == nil {
+		t.Error("non-dividing ways accepted")
+	}
+	bad = smallConfig()
+	bad.CacheLines = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero lines accepted")
+	}
+	bad = smallConfig()
+	bad.CountersPerLine = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero counters per line accepted")
+	}
+}
+
+func TestSequentialAccessHitsCache(t *testing.T) {
+	c, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var extra int
+	for i := 0; i < 400; i++ {
+		a := c.OnActivate(bank0(), i%16, 0) // 16 rows = 4 cache lines
+		extra += a.ExtraAccesses
+	}
+	// Only the 4 compulsory misses cost extra accesses.
+	if extra != 4 {
+		t.Errorf("extra accesses = %d on a resident working set, want 4", extra)
+	}
+	if mr := c.MissRate(); mr > 0.02 {
+		t.Errorf("miss rate = %v on a resident working set", mr)
+	}
+}
+
+func TestRandomAccessNearlyDoublesACTs(t *testing.T) {
+	// The §3.4 observation: on random access patterns the counter cache
+	// thrashes and CRA adds roughly one counter access per demand ACT.
+	c, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var extra int
+	const n = 50000
+	rows := params().RowsPerBank
+	for i := 0; i < n; i++ {
+		r := (i * 2654435761) % rows // pseudo-random walk over all rows
+		a := c.OnActivate(bank0(), r, 0)
+		extra += a.ExtraAccesses
+	}
+	ratio := float64(extra) / n
+	if ratio < 0.9 {
+		t.Errorf("extra-access ratio = %v on random access, want ≈ 1+ (nearly doubled ACTs)", ratio)
+	}
+}
+
+func TestDetectionAtThreshold(t *testing.T) {
+	cfg := smallConfig()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.Threshold-1; i++ {
+		if a := c.OnActivate(bank0(), 100, 0); a.Detected {
+			t.Fatalf("detected at ACT %d", i+1)
+		}
+	}
+	a := c.OnActivate(bank0(), 100, 0)
+	if !a.Detected {
+		t.Fatal("no detection at threshold")
+	}
+	want := map[int]bool{99: true, 101: true}
+	if len(a.LogicalVictims) != 2 || !want[a.LogicalVictims[0]] || !want[a.LogicalVictims[1]] {
+		t.Errorf("victims = %v, want neighbours of 100", a.LogicalVictims)
+	}
+	// Counter reset: another threshold's worth is needed again.
+	if a := c.OnActivate(bank0(), 100, 0); a.Detected {
+		t.Error("detection immediately after reset")
+	}
+}
+
+func TestEvictionWritebackCost(t *testing.T) {
+	cfg := smallConfig() // 16 lines
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch 17 distinct lines: the 17th access must evict a dirty line,
+	// costing fetch + writeback = 2 extra accesses.
+	lines := cfg.CacheLines + 1
+	var last int
+	for i := 0; i < lines; i++ {
+		a := c.OnActivate(bank0(), i*cfg.CountersPerLine, 0)
+		last = a.ExtraAccesses
+	}
+	if last != 2 {
+		t.Errorf("dirty eviction cost %d extra accesses, want 2 (fetch + writeback)", last)
+	}
+	_, _, wb, _ := c.Stats()
+	if wb == 0 {
+		t.Error("no writebacks recorded")
+	}
+}
+
+func TestCountersIsolatedAcrossBanks(t *testing.T) {
+	cfg := smallConfig()
+	cfg.DRAM.BanksPerRank = 2
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.Threshold-1; i++ {
+		c.OnActivate(dram.BankID{Bank: 0}, 7, 0)
+	}
+	if a := c.OnActivate(dram.BankID{Bank: 1}, 7, 0); a.Detected {
+		t.Error("bank 1 detection fed by bank 0 counts")
+	}
+}
+
+func TestResetClearsCache(t *testing.T) {
+	cfg := smallConfig()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.Threshold-1; i++ {
+		c.OnActivate(bank0(), 9, 0)
+	}
+	c.Reset()
+	if a := c.OnActivate(bank0(), 9, 0); a.Detected {
+		t.Error("stale counts survived Reset")
+	}
+}

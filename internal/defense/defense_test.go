@@ -1,0 +1,40 @@
+package defense
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+)
+
+func TestActionEmpty(t *testing.T) {
+	cases := []struct {
+		name string
+		a    Action
+		want bool
+	}{
+		{"zero", Action{}, true},
+		{"arr", Action{ARRAggressors: []int{1}}, false},
+		{"victims", Action{LogicalVictims: []int{2}}, false},
+		{"extra", Action{ExtraAccesses: 1}, false},
+		{"detected", Action{Detected: true}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Empty(); got != c.want {
+			t.Errorf("%s: Empty() = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestNopDoesNothing(t *testing.T) {
+	var n Nop
+	if n.Name() != "none" {
+		t.Errorf("Name() = %q", n.Name())
+	}
+	for i := 0; i < 1000; i++ {
+		if a := n.OnActivate(dram.BankID{}, i, 0); !a.Empty() {
+			t.Fatalf("Nop produced action %+v", a)
+		}
+	}
+	n.OnRefreshTick(dram.BankID{}, 0)
+	n.Reset()
+}

@@ -1,0 +1,152 @@
+package graphene
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/dram"
+)
+
+func params() dram.Params {
+	p := dram.DDR4_2400()
+	p.Channels, p.RanksPerChannel, p.BanksPerRank = 1, 1, 1
+	p.BankGroups = 1
+	p.RowsPerBank = 4096
+	p.TREFW = 16 * clock.Microsecond // maxlife 16, maxact 20 → W = 320
+	p.TREFI = 1 * clock.Microsecond
+	p.TRFC = 100 * clock.Nanosecond
+	p.NTh = 1024
+	return p
+}
+
+func bank0() dram.BankID { return dram.BankID{} }
+
+func TestConfigSizing(t *testing.T) {
+	p := params()
+	cfg := NewConfig(p, 64)
+	// W = 320, threshold 64 → k = 2·320/64 + 1 = 11.
+	if cfg.Entries != 11 {
+		t.Errorf("entries = %d, want 11", cfg.Entries)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	paper := NewConfig(dram.DDR4_2400(), 32768)
+	// W = 165·8192 ≈ 1.35M → k ≈ 83: far below TWiCe's 556, the follow-on
+	// paper's headline.
+	if paper.Entries > 100 {
+		t.Errorf("paper-scale entries = %d, want ≈ 83", paper.Entries)
+	}
+	bad := cfg
+	bad.Threshold = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("tiny threshold accepted")
+	}
+	bad = cfg
+	bad.Entries = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("empty table accepted")
+	}
+}
+
+func TestSingleRowDetectedAtThreshold(t *testing.T) {
+	cfg := NewConfig(params(), 64)
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detected := 0
+	for i := 0; i < 64; i++ {
+		if a := g.OnActivate(bank0(), 7, 0); a.Detected {
+			detected = i + 1
+			if len(a.ARRAggressors) != 1 || a.ARRAggressors[0] != 7 {
+				t.Fatalf("action = %+v", a)
+			}
+		}
+	}
+	if detected == 0 || detected > 64 {
+		t.Fatalf("detected at ACT %d, want ≤ threshold 64", detected)
+	}
+}
+
+func TestNoFalseNegativesUnderNoise(t *testing.T) {
+	// The Misra-Gries guarantee: a row hammered threshold times within a
+	// window is detected even while background noise churns the table.
+	cfg := NewConfig(params(), 64)
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	detected := false
+	hammer := 0
+	// Interleave: 1 hammer ACT per 4 noise ACTs, inside one window (W=320):
+	// the hammer row gets 64 ACTs while 256 noise ACTs churn.
+	for i := 0; i < 320 && !detected; i++ {
+		var row int
+		if i%5 == 0 {
+			row = 9
+			hammer++
+		} else {
+			row = 100 + rng.Intn(2000)
+		}
+		if a := g.OnActivate(bank0(), row, 0); a.Detected {
+			if row != 9 {
+				t.Fatalf("false detection of noise row %d", row)
+			}
+			detected = true
+		}
+	}
+	if !detected {
+		t.Fatalf("hammer row undetected after %d concentrated ACTs (threshold 64)", hammer)
+	}
+}
+
+func TestTableBounded(t *testing.T) {
+	cfg := NewConfig(params(), 64)
+	g, _ := New(cfg)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		g.OnActivate(bank0(), rng.Intn(4096), 0)
+		if got := len(g.banks[0].entries); got > cfg.Entries {
+			t.Fatalf("table grew to %d, cap %d", got, cfg.Entries)
+		}
+	}
+	_, swaps := g.Stats()
+	if swaps == 0 {
+		t.Error("no floor replacements under random churn")
+	}
+}
+
+func TestWindowReset(t *testing.T) {
+	cfg := NewConfig(params(), 64)
+	g, _ := New(cfg)
+	for i := 0; i < 63; i++ {
+		g.OnActivate(bank0(), 7, 0)
+	}
+	for i := 0; i < params().RefreshTicksPerWindow(); i++ {
+		g.OnRefreshTick(bank0(), 0)
+	}
+	if a := g.OnActivate(bank0(), 7, 0); a.Detected {
+		t.Error("counts survived the window reset")
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	cfg := NewConfig(params(), 64)
+	g, _ := New(cfg)
+	for i := 0; i < 63; i++ {
+		g.OnActivate(bank0(), 7, 0)
+	}
+	g.Reset()
+	if a := g.OnActivate(bank0(), 7, 0); a.Detected {
+		t.Error("counts survived Reset")
+	}
+	if g.Name() != "Graphene-11" {
+		t.Errorf("Name() = %q", g.Name())
+	}
+	if g.TableEntries() != 11 {
+		t.Errorf("TableEntries() = %d", g.TableEntries())
+	}
+}

@@ -1,0 +1,78 @@
+// Package para implements PARA (Probabilistic Adjacent Row Activation,
+// Kim et al. ISCA 2014): on every row activation, with probability p one of
+// the row's neighbours is refreshed. PARA is stateless, cannot detect
+// attacks, and its additional-ACT overhead equals p on every workload —
+// the baseline behaviour Figure 7 of the TWiCe paper reports.
+package para
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/clock"
+	"repro/internal/defense"
+	"repro/internal/dram"
+)
+
+// PARA is a probabilistic row-hammer mitigation.
+type PARA struct {
+	name        string
+	p           float64
+	rowsPerBank int
+	radius      int
+	rng         *rand.Rand
+	refreshes   int64
+}
+
+var _ defense.Defense = (*PARA)(nil)
+
+// New builds a PARA instance with refresh probability p. The paper's
+// configurations are p = 0.001 and p = 0.002. The seed makes runs
+// reproducible; real deployments need a true RNG (§3.4), which is outside a
+// simulator's scope.
+func New(p float64, dp dram.Params, seed int64) (*PARA, error) {
+	if p <= 0 || p >= 1 {
+		return nil, fmt.Errorf("para: probability %v outside (0,1)", p)
+	}
+	return &PARA{
+		name:        fmt.Sprintf("PARA-%g", p),
+		p:           p,
+		rowsPerBank: dp.RowsPerBank,
+		radius:      dp.BlastRadius,
+		rng:         rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Name implements defense.Defense.
+func (pa *PARA) Name() string { return pa.name }
+
+// OnActivate implements defense.Defense: with probability p, refresh one
+// randomly chosen neighbour within the blast radius.
+func (pa *PARA) OnActivate(_ dram.BankID, row int, _ clock.Time) defense.Action {
+	if pa.rng.Float64() >= pa.p {
+		return defense.Action{}
+	}
+	// Choose a side and distance uniformly among the 2·radius neighbours.
+	d := pa.rng.Intn(2*pa.radius) - pa.radius
+	if d >= 0 {
+		d++
+	}
+	victim := row + d
+	if victim < 0 || victim >= pa.rowsPerBank {
+		victim = row - d // fall back to the in-range side
+		if victim < 0 || victim >= pa.rowsPerBank {
+			return defense.Action{}
+		}
+	}
+	pa.refreshes++
+	return defense.Action{LogicalVictims: []int{victim}}
+}
+
+// OnRefreshTick implements defense.Defense (PARA is stateless).
+func (pa *PARA) OnRefreshTick(dram.BankID, clock.Time) {}
+
+// Reset implements defense.Defense (PARA is stateless).
+func (pa *PARA) Reset() {}
+
+// Refreshes returns the number of victim refreshes issued.
+func (pa *PARA) Refreshes() int64 { return pa.refreshes }

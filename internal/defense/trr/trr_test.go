@@ -1,0 +1,136 @@
+package trr
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+)
+
+func params() dram.Params {
+	p := dram.DDR4_2400()
+	p.Channels, p.RanksPerChannel, p.BanksPerRank = 1, 1, 1
+	p.BankGroups = 1
+	p.RowsPerBank = 4096
+	p.NTh = 2048
+	return p
+}
+
+func smallConfig() Config {
+	return Config{TrackerEntries: 4, MAC: 512, DRAM: params()}
+}
+
+func bank0() dram.BankID { return dram.BankID{} }
+
+func TestConfigValidate(t *testing.T) {
+	if err := NewConfig(dram.DDR4_2400()).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := smallConfig()
+	bad.TrackerEntries = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero tracker accepted")
+	}
+	bad = smallConfig()
+	bad.MAC = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("tiny MAC accepted")
+	}
+}
+
+func TestName(t *testing.T) {
+	tr, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name() != "TRR-4" {
+		t.Errorf("Name() = %q", tr.Name())
+	}
+}
+
+func TestSingleRowHammerCaught(t *testing.T) {
+	cfg := smallConfig()
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.MAC-1; i++ {
+		if a := tr.OnActivate(bank0(), 7, 0); a.Detected {
+			t.Fatalf("fired at ACT %d, below MAC", i+1)
+		}
+	}
+	a := tr.OnActivate(bank0(), 7, 0)
+	if !a.Detected || len(a.ARRAggressors) != 1 || a.ARRAggressors[0] != 7 {
+		t.Fatalf("MAC crossing action = %+v", a)
+	}
+	refreshes, _ := tr.Stats()
+	if refreshes != 1 {
+		t.Errorf("refreshes = %d", refreshes)
+	}
+}
+
+func TestFewSidedAttackCaught(t *testing.T) {
+	// Up to TrackerEntries simultaneous aggressors fit in the tracker.
+	cfg := smallConfig()
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detected := 0
+	for i := 0; i < cfg.MAC*cfg.TrackerEntries+cfg.TrackerEntries; i++ {
+		row := 100 + 2*(i%cfg.TrackerEntries)
+		if a := tr.OnActivate(bank0(), row, 0); a.Detected {
+			detected++
+		}
+	}
+	if detected == 0 {
+		t.Error("4-sided attack undetected by a 4-entry tracker")
+	}
+}
+
+func TestManySidedAttackBypassesTracker(t *testing.T) {
+	// The TRRespass weakness: more aggressors than tracker entries means
+	// each insertion evicts another aggressor; counts never reach the MAC.
+	cfg := smallConfig()
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sides := cfg.TrackerEntries * 4
+	for i := 0; i < cfg.MAC*sides*2; i++ {
+		row := 100 + 2*(i%sides)
+		if a := tr.OnActivate(bank0(), row, 0); a.Detected {
+			t.Fatalf("many-sided attack detected at ACT %d; eviction model broken", i)
+		}
+	}
+	_, evictions := tr.Stats()
+	if evictions == 0 {
+		t.Error("no tracker evictions under a many-sided attack")
+	}
+}
+
+func TestTrackerIsolatedPerBank(t *testing.T) {
+	cfg := smallConfig()
+	cfg.DRAM.BanksPerRank = 2
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.MAC-1; i++ {
+		tr.OnActivate(dram.BankID{Bank: 0}, 7, 0)
+	}
+	if a := tr.OnActivate(dram.BankID{Bank: 1}, 7, 0); a.Detected {
+		t.Error("bank 1 fired from bank 0 counts")
+	}
+}
+
+func TestResetClearsTrackers(t *testing.T) {
+	cfg := smallConfig()
+	tr, _ := New(cfg)
+	for i := 0; i < cfg.MAC-1; i++ {
+		tr.OnActivate(bank0(), 7, 0)
+	}
+	tr.Reset()
+	if a := tr.OnActivate(bank0(), 7, 0); a.Detected {
+		t.Error("stale counts after Reset")
+	}
+}

@@ -1,0 +1,52 @@
+package dram
+
+import "fmt"
+
+// Addr identifies one cache-line-sized column in the memory system.
+type Addr struct {
+	Channel int
+	Rank    int
+	Bank    int
+	Row     int
+	Col     int
+}
+
+// String renders the address as ch/rk/ba/row/col.
+func (a Addr) String() string {
+	return fmt.Sprintf("ch%d/rk%d/ba%d/row%d/col%d", a.Channel, a.Rank, a.Bank, a.Row, a.Col)
+}
+
+// BankID flattens the (channel, rank, bank) triple for use as a map key or
+// slice index.
+type BankID struct {
+	Channel int
+	Rank    int
+	Bank    int
+}
+
+// Bank returns the bank coordinate of the address.
+func (a Addr) BankID() BankID { return BankID{a.Channel, a.Rank, a.Bank} }
+
+// String renders the bank id as ch/rk/ba.
+func (b BankID) String() string {
+	return fmt.Sprintf("ch%d/rk%d/ba%d", b.Channel, b.Rank, b.Bank)
+}
+
+// Flat returns a dense index for the bank in [0, p.TotalBanks()).
+func (b BankID) Flat(p Params) int {
+	return (b.Channel*p.RanksPerChannel+b.Rank)*p.BanksPerRank + b.Bank
+}
+
+// RankID identifies a rank within the system.
+type RankID struct {
+	Channel int
+	Rank    int
+}
+
+// RankID returns the rank coordinate of the bank.
+func (b BankID) RankID() RankID { return RankID{b.Channel, b.Rank} }
+
+// Flat returns a dense index for the rank in [0, Channels*RanksPerChannel).
+func (r RankID) Flat(p Params) int {
+	return r.Channel*p.RanksPerChannel + r.Rank
+}

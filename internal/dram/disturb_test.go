@@ -1,0 +1,78 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/clock"
+)
+
+// TestDisturbanceConservation checks the bookkeeping invariant behind the
+// whole reliability model: with no refreshes, after any sequence of
+// activations of interior rows, each row's disturbance equals the number of
+// neighbour activations since the row itself was last activated.
+func TestDisturbanceConservation(t *testing.T) {
+	p := smallParams()
+	p.NTh = 1 << 30 // never flip; we only audit the counters
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBank(BankID{}, &p, nil)
+		// Reference model: per physical row, neighbour ACTs since own ACT.
+		ref := make([]int, p.RowsPerBank+p.SpareRowsPerBank)
+		for i := 0; i < 500; i++ {
+			row := rng.Intn(p.RowsPerBank)
+			if err := b.Activate(row, clock.Time(i)); err != nil {
+				return false
+			}
+			b.Precharge()
+			ref[row] = 0
+			for _, n := range []int{row - 1, row + 1} {
+				if n >= 0 && n < len(ref) {
+					ref[n]++
+				}
+			}
+		}
+		for r := range ref {
+			if b.Disturbance(r) != ref[r] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRefreshWindowBoundsDisturbance verifies the premise of §3.2: with the
+// rolling auto-refresh running at its rated cadence, no row's disturbance
+// can exceed the ACTs its neighbours can physically receive in one window.
+func TestRefreshWindowBoundsDisturbance(t *testing.T) {
+	p := smallParams()
+	p.NTh = 1 << 30
+	b := NewBank(BankID{}, &p, nil)
+	actsPerTick := p.MaxACTsPerRefreshInterval()
+	ticks := 3 * p.RefreshTicksPerWindow()
+	hot := 7
+	for tick := 0; tick < ticks; tick++ {
+		for i := 0; i < actsPerTick; i++ {
+			if err := b.Activate(hot, 0); err != nil {
+				t.Fatal(err)
+			}
+			b.Precharge()
+		}
+		if err := b.AutoRefresh(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The victim is refreshed once per window, so its disturbance is capped
+	// by one window's worth of neighbour ACTs.
+	bound := actsPerTick * p.RefreshTicksPerWindow()
+	if got := b.Disturbance(hot + 1); got > bound {
+		t.Errorf("victim disturbance = %d, above one-window bound %d", got, bound)
+	}
+	if got := b.Disturbance(hot + 1); got == 0 {
+		t.Error("victim disturbance zero; hammering not registered")
+	}
+}

@@ -1,0 +1,149 @@
+package dram
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// RemapTable records the row-sparing decisions made at device test time:
+// logical rows whose cells failed are replaced by spare physical rows. Only
+// the DRAM device holds this information (it is burned into fuses), which is
+// the paper's argument for resolving physical adjacency inside the device via
+// the ARR command rather than in the memory controller.
+//
+// Physical row space is [0, RowsPerBank + SpareRowsPerBank): the first
+// RowsPerBank physical rows are the default homes of the logical rows, the
+// tail is the spare region.
+type RemapTable struct {
+	rows   int
+	spares int
+	// logicalToPhys holds only remapped logical rows.
+	logicalToPhys map[int]int
+	// physToLogical is the inverse for remapped targets plus tombstones for
+	// vacated default homes.
+	physToLogical map[int]int
+	used          int
+}
+
+// NewRemapTable returns an identity mapping with the given geometry.
+func NewRemapTable(rows, spares int) *RemapTable {
+	return &RemapTable{
+		rows:          rows,
+		spares:        spares,
+		logicalToPhys: make(map[int]int),
+		physToLogical: make(map[int]int),
+	}
+}
+
+// GenerateRemapTable builds a remap table by sampling faulty rows at the
+// given single-cell-failure rate. A row is considered faulty (and remapped)
+// if any of its cells failed; with cellsPerRow cells the per-row fault
+// probability is 1-(1-scf)^cells, approximated as min(1, scf*cells) for the
+// tiny rates involved. The rng makes the layout reproducible.
+func GenerateRemapTable(p Params, rng *rand.Rand) *RemapTable {
+	t := NewRemapTable(p.RowsPerBank, p.SpareRowsPerBank)
+	cells := float64(p.RowBytes() * 8)
+	perRow := p.SCFRate * cells
+	if perRow > 1 {
+		perRow = 1
+	}
+	if perRow <= 0 {
+		return t
+	}
+	// Sample the number of faulty rows and place them uniformly; this avoids
+	// a 131K-iteration Bernoulli loop per bank while preserving the marginal
+	// distribution closely enough for layout purposes.
+	expected := perRow * float64(p.RowsPerBank)
+	n := int(expected)
+	if rng.Float64() < expected-float64(n) {
+		n++
+	}
+	if n > p.SpareRowsPerBank {
+		n = p.SpareRowsPerBank
+	}
+	seen := make(map[int]bool, n)
+	for len(seen) < n {
+		r := rng.Intn(p.RowsPerBank)
+		if !seen[r] {
+			seen[r] = true
+			if err := t.Remap(r); err != nil {
+				break // spares exhausted; leave remaining rows unmapped
+			}
+		}
+	}
+	return t
+}
+
+// Remap assigns the next free spare row to the given logical row. It returns
+// an error if the row is already remapped or the spare region is exhausted.
+func (t *RemapTable) Remap(logical int) error {
+	if logical < 0 || logical >= t.rows {
+		return fmt.Errorf("dram: remap of out-of-range logical row %d", logical)
+	}
+	if _, ok := t.logicalToPhys[logical]; ok {
+		return fmt.Errorf("dram: logical row %d already remapped", logical)
+	}
+	if t.used >= t.spares {
+		return fmt.Errorf("dram: spare rows exhausted (%d used)", t.used)
+	}
+	phys := t.rows + t.used
+	t.used++
+	t.logicalToPhys[logical] = phys
+	t.physToLogical[phys] = logical
+	t.physToLogical[logical] = -1 // vacated default home: no logical row lives here
+	return nil
+}
+
+// Physical resolves a logical row index to its physical row index.
+func (t *RemapTable) Physical(logical int) int {
+	if p, ok := t.logicalToPhys[logical]; ok {
+		return p
+	}
+	return logical
+}
+
+// Logical resolves a physical row index back to the logical row stored there,
+// or -1 if the physical row holds no logical row (an unused spare or a
+// vacated faulty row).
+func (t *RemapTable) Logical(phys int) int {
+	if l, ok := t.physToLogical[phys]; ok {
+		return l
+	}
+	if phys < t.rows {
+		return phys
+	}
+	return -1
+}
+
+// Remapped returns the sorted list of remapped logical rows.
+func (t *RemapTable) Remapped() []int {
+	out := make([]int, 0, len(t.logicalToPhys))
+	for l := range t.logicalToPhys {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Count returns the number of remapped rows.
+func (t *RemapTable) Count() int { return t.used }
+
+// PhysicalRows returns the size of the physical row space.
+func (t *RemapTable) PhysicalRows() int { return t.rows + t.spares }
+
+// PhysicalNeighbors returns the physical rows within the blast radius of the
+// given physical row, in ascending order, clipped to the physical row space.
+func (t *RemapTable) PhysicalNeighbors(phys, radius int) []int {
+	out := make([]int, 0, 2*radius)
+	for d := -radius; d <= radius; d++ {
+		if d == 0 {
+			continue
+		}
+		n := phys + d
+		if n >= 0 && n < t.PhysicalRows() {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCellsCSV writes measurement cells as CSV (one row per cell) so the
+// figures can be re-plotted outside this repository.
+func WriteCellsCSV(w io.Writer, cells []Cell) error {
+	cw := csv.NewWriter(w)
+	header := []string{"workload", "defense", "normal_acts", "extra_acts",
+		"ratio", "detections", "arrs", "nacks", "flips", "sim_time_ns"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiments: writing csv header: %w", err)
+	}
+	for _, c := range cells {
+		rec := []string{
+			c.Workload,
+			c.Defense,
+			strconv.FormatInt(c.NormalACTs, 10),
+			strconv.FormatInt(c.ExtraACTs, 10),
+			strconv.FormatFloat(c.Ratio, 'g', -1, 64),
+			strconv.FormatInt(c.Detections, 10),
+			strconv.FormatInt(c.ARRs, 10),
+			strconv.FormatInt(c.Nacks, 10),
+			strconv.FormatInt(c.Flips, 10),
+			strconv.FormatFloat(c.SimTime.Nanoseconds(), 'f', 3, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("experiments: writing csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+)
+
+func TestWriteCellsCSV(t *testing.T) {
+	cells := []Cell{
+		{Workload: "S3", Defense: "TWiCe", NormalACTs: 32768, ExtraACTs: 2,
+			Ratio: 2.0 / 32768, Detections: 1, ARRs: 1, SimTime: clock.Millisecond},
+		{Workload: "S1", Defense: "PARA-0.001", NormalACTs: 1000, ExtraACTs: 1, Ratio: 0.001},
+	}
+	var buf bytes.Buffer
+	if err := WriteCellsCSV(&buf, cells); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want header + 2", len(rows))
+	}
+	if rows[0][0] != "workload" || rows[0][9] != "sim_time_ns" {
+		t.Errorf("header = %v", rows[0])
+	}
+	if rows[1][0] != "S3" || rows[1][1] != "TWiCe" || rows[1][2] != "32768" {
+		t.Errorf("row 1 = %v", rows[1])
+	}
+	if !strings.HasPrefix(rows[1][4], "6.10") { // 2/32768 ≈ 6.1e-05
+		t.Errorf("ratio cell = %q", rows[1][4])
+	}
+	if rows[1][9] != "1000000.000" {
+		t.Errorf("sim time cell = %q", rows[1][9])
+	}
+}
+
+func TestWriteCellsCSVEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCellsCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 1 {
+		t.Errorf("empty export has %d lines, want header only", got)
+	}
+}

@@ -1,0 +1,452 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation: the Table 1 qualitative comparison, the Table 2 parameter
+// derivation, the Table 3 timing/energy model, the Table 4 system
+// configuration, and the Figure 7(a)/(b) additional-activation studies.
+// Both cmd/paperrepro and the repository benchmarks drive this package.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/defense"
+	"repro/internal/defense/cbt"
+	"repro/internal/defense/cra"
+	"repro/internal/defense/graphene"
+	"repro/internal/defense/para"
+	"repro/internal/defense/prohit"
+	"repro/internal/dram"
+	"repro/internal/energy"
+	"repro/internal/mc"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Scale sizes an experiment run. PaperScale uses the paper's thresholds and
+// refresh window (slow but faithful); QuickScale shrinks the refresh window
+// and thresholds proportionally so every experiment finishes in seconds
+// while preserving the ratios the figures report.
+type Scale struct {
+	Name         string
+	TREFW        clock.Time
+	NTh          int
+	ThRH         int   // TWiCe detection threshold
+	CBTThreshold int   // CBT top threshold
+	Cores        int   // cores for the multi-programmed/threaded workloads
+	Requests     int64 // demand requests per cell
+	SPECApps     []string
+	Seed         int64
+}
+
+// PaperScale reproduces the paper's parameters exactly (Table 2): thRH =
+// 32768 over a 64 ms window. Runs take minutes per cell.
+func PaperScale() Scale {
+	return Scale{
+		Name:         "paper",
+		TREFW:        64 * clock.Millisecond,
+		NTh:          139000,
+		ThRH:         32768,
+		CBTThreshold: 32768,
+		Cores:        16,
+		Requests:     600000,
+		SPECApps:     allSPECApps(),
+		Seed:         1,
+	}
+}
+
+// QuickScale shrinks the refresh window 64× (1 ms, maxlife 128) and the
+// thresholds by the same factor (thRH 512), preserving every ratio while
+// running in seconds.
+func QuickScale() Scale {
+	return Scale{
+		Name:         "quick",
+		TREFW:        clock.Millisecond,
+		NTh:          2048, // ≥ 4·thRH; scaled like thRH
+		ThRH:         512,
+		CBTThreshold: 512,
+		Cores:        4,
+		Requests:     120000,
+		SPECApps:     []string{"mcf", "lbm", "libquantum", "omnetpp", "povray", "gcc"},
+		Seed:         1,
+	}
+}
+
+func allSPECApps() []string {
+	ps := workload.Profiles()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// machineConfig builds the simulated machine for the scale.
+func (s Scale) machineConfig() sim.Config {
+	cfg := sim.DefaultConfig(s.Cores)
+	cfg.DRAM.TREFW = s.TREFW
+	cfg.DRAM.NTh = s.NTh
+	cfg.MC = mc.NewConfig(cfg.DRAM)
+	cfg.Seed = s.Seed
+	return cfg
+}
+
+// DefenseNames lists the Figure 7 defense configurations in display order.
+func DefenseNames() []string {
+	return []string{"PARA-0.001", "PARA-0.002", "CBT-256", "TWiCe"}
+}
+
+// NewDefense instantiates a defense by display name for the scale.
+func (s Scale) NewDefense(name string, p dram.Params) (defense.Defense, error) {
+	switch name {
+	case "none":
+		return defense.Nop{}, nil
+	case "PARA-0.001":
+		return para.New(0.001, p, s.Seed+11)
+	case "PARA-0.002":
+		return para.New(0.002, p, s.Seed+13)
+	case "CBT-256":
+		cfg := cbt.NewConfig(p)
+		cfg.Threshold = s.CBTThreshold
+		return cbt.New(cfg)
+	case "TWiCe":
+		cfg := core.NewConfig(p)
+		cfg.ThRH = s.ThRH
+		return core.New(cfg)
+	case "TWiCe-fa":
+		cfg := core.NewConfig(p)
+		cfg.ThRH = s.ThRH
+		cfg.Org = core.FA
+		return core.New(cfg)
+	case "TWiCe-sep":
+		cfg := core.NewConfig(p)
+		cfg.ThRH = s.ThRH
+		cfg.Org = core.Separated
+		return core.New(cfg)
+	case "CRA":
+		cfg := cra.NewConfig(p)
+		cfg.Threshold = s.ThRH
+		return cra.New(cfg)
+	case "PRoHIT":
+		return prohit.New(prohit.NewConfig(p), s.Seed+17)
+	case "Graphene":
+		return graphene.New(graphene.NewConfig(p, s.ThRH))
+	default:
+		return nil, fmt.Errorf("experiments: unknown defense %q", name)
+	}
+}
+
+// s2MinRequests returns the request budget S2 needs: at least three full
+// exhaust-then-attack cycles (each ≈ 40.8× the CBT threshold in accesses).
+func (s Scale) s2MinRequests() int64 {
+	cycle := int64(float64(s.CBTThreshold)*0.9*128) + 12*int64(s.CBTThreshold)
+	min := 3 * cycle
+	if s.Requests > min {
+		return s.Requests
+	}
+	return min
+}
+
+// Cell is one (workload, defense) measurement.
+type Cell struct {
+	Workload   string
+	Defense    string
+	Ratio      float64 // additional ACTs / normal ACTs (the Figure 7 metric)
+	NormalACTs int64
+	ExtraACTs  int64
+	Detections int64
+	ARRs       int64
+	Nacks      int64
+	Flips      int64
+	SimTime    clock.Time
+}
+
+// runCell executes one workload under one defense.
+func (s Scale) runCell(wname string, w workload.Workload, dname string) (Cell, error) {
+	requests := s.Requests
+	if wname == "S2" || wname == "adversarial-S2" {
+		requests = s.s2MinRequests()
+	}
+	cfg := s.machineConfig()
+	def, err := s.NewDefense(dname, cfg.DRAM)
+	if err != nil {
+		return Cell{}, err
+	}
+	res, err := sim.Run(cfg, def, w, sim.Limits{MaxRequests: requests, MaxTime: 30 * clock.Second})
+	if err != nil {
+		return Cell{}, fmt.Errorf("experiments: %s/%s: %w", wname, dname, err)
+	}
+	return Cell{
+		Workload:   wname,
+		Defense:    dname,
+		Ratio:      res.Counters.AdditionalACTRatio(),
+		NormalACTs: res.Counters.NormalACTs,
+		ExtraACTs:  res.Counters.DefenseACTs,
+		Detections: res.Counters.Detections,
+		ARRs:       res.Counters.ARRs,
+		Nacks:      res.Counters.Nacks,
+		Flips:      int64(len(res.Flips)),
+		SimTime:    res.SimTime,
+	}, nil
+}
+
+// figure7aWorkloads builds the Figure 7(a) workload set: SPECrate average is
+// represented by running each app and averaging, plus mix-high, mix-blend,
+// FFT, MICA, PageRank, and RADIX.
+func (s Scale) figure7aWorkloads(memBytes uint64) (map[string]func() (workload.Workload, error), []string) {
+	make7a := map[string]func() (workload.Workload, error){
+		"mix-high": func() (workload.Workload, error) { return workload.MixHigh(s.Cores, memBytes, s.Seed) },
+		"mix-blend": func() (workload.Workload, error) {
+			return workload.MixBlend(s.Cores, memBytes, s.Seed), nil
+		},
+		"FFT":      func() (workload.Workload, error) { return workload.FFT(s.Cores, memBytes, s.Seed), nil },
+		"MICA":     func() (workload.Workload, error) { return workload.MICA(s.Cores, memBytes, s.Seed), nil },
+		"PageRank": func() (workload.Workload, error) { return workload.PageRank(s.Cores, memBytes, s.Seed), nil },
+		"RADIX":    func() (workload.Workload, error) { return workload.Radix(s.Cores, memBytes, s.Seed), nil },
+	}
+	order := []string{"SPECrate(Avg)", "mix-high", "mix-blend", "FFT", "MICA", "PageRank", "RADIX"}
+	return make7a, order
+}
+
+// Figure7a runs the multi-programmed and multi-threaded study for every
+// defense and returns cells in display order, including the SPECrate average
+// and the cross-workload Average row the figure shows.
+func Figure7a(s Scale) ([]Cell, error) {
+	cfg := s.machineConfig()
+	memBytes := uint64(cfg.DRAM.TotalCapacityBytes())
+	builders, order := s.figure7aWorkloads(memBytes)
+
+	var cells []Cell
+	for _, dname := range DefenseNames() {
+		// SPECrate(Avg): run each app, average the ratios.
+		var sum float64
+		var agg Cell
+		for _, app := range s.SPECApps {
+			w, err := workload.SPECRate(app, s.Cores, memBytes, s.Seed)
+			if err != nil {
+				return nil, err
+			}
+			c, err := s.runCell("specrate-"+app, w, dname)
+			if err != nil {
+				return nil, err
+			}
+			sum += c.Ratio
+			agg.NormalACTs += c.NormalACTs
+			agg.ExtraACTs += c.ExtraACTs
+			agg.Detections += c.Detections
+			agg.Flips += c.Flips
+		}
+		agg.Workload = "SPECrate(Avg)"
+		agg.Defense = dname
+		agg.Ratio = sum / float64(len(s.SPECApps))
+		cells = append(cells, agg)
+
+		for _, wname := range order[1:] {
+			w, err := builders[wname]()
+			if err != nil {
+				return nil, err
+			}
+			c, err := s.runCell(wname, w, dname)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, c)
+		}
+	}
+	cells = append(cells, averageRows(cells)...)
+	return cells, nil
+}
+
+// averageRows appends the per-defense Average row Figure 7(a) shows.
+func averageRows(cells []Cell) []Cell {
+	byDefense := map[string][]Cell{}
+	for _, c := range cells {
+		byDefense[c.Defense] = append(byDefense[c.Defense], c)
+	}
+	names := make([]string, 0, len(byDefense))
+	for n := range byDefense {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var out []Cell
+	for _, n := range names {
+		var sum float64
+		for _, c := range byDefense[n] {
+			sum += c.Ratio
+		}
+		out = append(out, Cell{
+			Workload: "Average",
+			Defense:  n,
+			Ratio:    sum / float64(len(byDefense[n])),
+		})
+	}
+	return out
+}
+
+// Figure7b runs the synthetic study (S1, S2, S3) for every defense.
+func Figure7b(s Scale) ([]Cell, error) {
+	cfg := s.machineConfig()
+	amap, err := mc.NewAddrMap(cfg.DRAM)
+	if err != nil {
+		return nil, err
+	}
+	synthetics := []struct {
+		name  string
+		build func() workload.Workload
+	}{
+		{"S1", func() workload.Workload { return workload.S1(amap, cfg.DRAM, s.Seed) }},
+		{"S2", func() workload.Workload { return workload.S2(amap, cfg.DRAM, s.CBTThreshold) }},
+		{"S3", func() workload.Workload { return workload.S3(amap, cfg.DRAM, 5000) }},
+	}
+	var cells []Cell
+	for _, syn := range synthetics {
+		for _, dname := range DefenseNames() {
+			c, err := s.runCell(syn.name, syn.build(), dname)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, c)
+		}
+	}
+	return cells, nil
+}
+
+// RenderCells renders cells as an aligned text table.
+func RenderCells(title string, cells []Cell) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-16s %-12s %12s %12s %10s %8s %6s\n",
+		"workload", "defense", "normalACTs", "extraACTs", "ratio", "detect", "flips")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%-16s %-12s %12d %12d %9.4f%% %8d %6d\n",
+			c.Workload, c.Defense, c.NormalACTs, c.ExtraACTs, 100*c.Ratio, c.Detections, c.Flips)
+	}
+	return b.String()
+}
+
+// Table2 reproduces the parameter table for the scale.
+func Table2(s Scale) analysis.Derived {
+	cfg := s.machineConfig()
+	c := core.NewConfig(cfg.DRAM)
+	c.ThRH = s.ThRH
+	return analysis.Derive(c)
+}
+
+// Table3 returns the timing/energy constants (the paper's measurements).
+func Table3() energy.Model { return energy.Table3() }
+
+// Table3Measured runs an S3 attack under TWiCe and aggregates Table 3's
+// constants over the simulated command mix, reproducing the §7.1 overheads.
+func Table3Measured(s Scale) (energy.Breakdown, error) {
+	cfg := s.machineConfig()
+	ccfg := core.NewConfig(cfg.DRAM)
+	ccfg.ThRH = s.ThRH
+	tw, err := core.New(ccfg)
+	if err != nil {
+		return energy.Breakdown{}, err
+	}
+	amap, err := mc.NewAddrMap(cfg.DRAM)
+	if err != nil {
+		return energy.Breakdown{}, err
+	}
+	res, err := sim.Run(cfg, tw, workload.S3(amap, cfg.DRAM, 5000),
+		sim.Limits{MaxRequests: s.Requests, MaxTime: 10 * clock.Second})
+	if err != nil {
+		return energy.Breakdown{}, err
+	}
+	return energy.Table3().Aggregate(res.Counters, tw.Ops(), ccfg.Org, cfg.DRAM.BanksPerRank), nil
+}
+
+// AreaReport reproduces the §6.2/§7.1 storage figures.
+func AreaReport(s Scale) energy.Area {
+	cfg := s.machineConfig()
+	c := core.NewConfig(cfg.DRAM)
+	c.ThRH = s.ThRH
+	return energy.AreaModel(c)
+}
+
+// Table4 renders the simulated system configuration.
+func Table4(s Scale) string {
+	cfg := s.machineConfig()
+	var b strings.Builder
+	fmt.Fprintf(&b, "cores: %d @ %.1f GHz, IPC %.1f, MLP %d\n", s.Cores, cfg.CPU.FreqGHz, cfg.CPU.IPC, cfg.CPU.MLP)
+	fmt.Fprintf(&b, "caches: L1 %dKB, L2 %dKB private; L3 %dMB shared; %dB lines; prefetch on\n",
+		cfg.Cache.L1.SizeBytes>>10, cfg.Cache.L2.SizeBytes>>10, cfg.Cache.L3.SizeBytes>>20, cfg.Cache.L1.LineBytes)
+	fmt.Fprintf(&b, "memory: %d channels × %d ranks × %d banks DDR4-2400, %d GiB total\n",
+		cfg.DRAM.Channels, cfg.DRAM.RanksPerChannel, cfg.DRAM.BanksPerRank, cfg.DRAM.TotalCapacityBytes()>>30)
+	fmt.Fprintf(&b, "controller: %s scheduling, %s paging, %d-entry queues\n",
+		cfg.MC.Scheduler, cfg.MC.PagePolicy, cfg.MC.QueueDepth)
+	fmt.Fprintf(&b, "timing: tREFW %v, tREFI %v, tRFC %v, tRC %v\n",
+		cfg.DRAM.TREFW, cfg.DRAM.TREFI, cfg.DRAM.TRFC, cfg.DRAM.TRC)
+	return b.String()
+}
+
+// Table1Row is one qualitative-comparison measurement backing Table 1.
+type Table1Row struct {
+	Defense          string
+	TypicalRatio     float64 // additional ACTs on a benign mixed workload
+	AdversarialRatio float64 // worst additional ACTs across S1-S3
+	Detects          bool
+}
+
+// Table1 quantifies the paper's qualitative comparison: each defense's
+// overhead on typical versus adversarial patterns and whether it can detect
+// attacks. CRA and PRoHIT are included beyond the Figure 7 set.
+func Table1(s Scale) ([]Table1Row, error) {
+	cfg := s.machineConfig()
+	memBytes := uint64(cfg.DRAM.TotalCapacityBytes())
+	amap, err := mc.NewAddrMap(cfg.DRAM)
+	if err != nil {
+		return nil, err
+	}
+	defs := []string{"CRA", "CBT-256", "PARA-0.001", "PRoHIT", "TWiCe"}
+	rows := make([]Table1Row, 0, len(defs))
+	for _, dname := range defs {
+		typical, err := workload.MixHigh(s.Cores, memBytes, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		tc, err := s.runCell("mix-high", typical, dname)
+		if err != nil {
+			return nil, err
+		}
+		worst := 0.0
+		for _, adv := range []struct {
+			name  string
+			build func() workload.Workload
+		}{
+			{"adversarial-S1", func() workload.Workload { return workload.S1(amap, cfg.DRAM, s.Seed) }},
+			{"adversarial-S2", func() workload.Workload { return workload.S2(amap, cfg.DRAM, s.CBTThreshold) }},
+			{"adversarial-S3", func() workload.Workload { return workload.S3(amap, cfg.DRAM, 5000) }},
+		} {
+			c, err := s.runCell(adv.name, adv.build(), dname)
+			if err != nil {
+				return nil, err
+			}
+			if c.Ratio > worst {
+				worst = c.Ratio
+			}
+		}
+		rows = append(rows, Table1Row{
+			Defense:          dname,
+			TypicalRatio:     tc.Ratio,
+			AdversarialRatio: worst,
+			Detects:          dname != "PARA-0.001" && dname != "PRoHIT",
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable1 renders Table 1 rows.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %16s %20s %8s\n", "defense", "typical extra", "adversarial extra", "detects")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %15.4f%% %19.4f%% %8v\n",
+			r.Defense, 100*r.TypicalRatio, 100*r.AdversarialRatio, r.Detects)
+	}
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package mc
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/dram"
+)
+
+// AddrMap translates between flat physical byte addresses and DRAM
+// coordinates. The bit layout, from least significant upward, is
+//
+//	[line offset][channel][column][bank][rank][row]
+//
+// so consecutive cache lines interleave across channels first and then walk
+// the columns of one row — the layout that gives streaming workloads their
+// row-buffer locality while spreading load over channels, as in the paper's
+// simulated system.
+type AddrMap struct {
+	p        dram.Params
+	lineBits uint
+	chBits   uint
+	colBits  uint
+	bankBits uint
+	rankBits uint
+	rowBits  uint
+}
+
+// NewAddrMap builds the mapper. Geometry fields of p must be powers of two.
+func NewAddrMap(p dram.Params) (*AddrMap, error) {
+	fields := []struct {
+		name string
+		v    int
+	}{
+		{"LineBytes", p.LineBytes},
+		{"Channels", p.Channels},
+		{"ColumnsPerRow", p.ColumnsPerRow},
+		{"BanksPerRank", p.BanksPerRank},
+		{"RanksPerChannel", p.RanksPerChannel},
+		{"RowsPerBank", p.RowsPerBank},
+	}
+	for _, f := range fields {
+		if f.v <= 0 || f.v&(f.v-1) != 0 {
+			return nil, fmt.Errorf("mc: %s = %d is not a power of two", f.name, f.v)
+		}
+	}
+	return &AddrMap{
+		p:        p,
+		lineBits: uint(bits.TrailingZeros(uint(p.LineBytes))),
+		chBits:   uint(bits.TrailingZeros(uint(p.Channels))),
+		colBits:  uint(bits.TrailingZeros(uint(p.ColumnsPerRow))),
+		bankBits: uint(bits.TrailingZeros(uint(p.BanksPerRank))),
+		rankBits: uint(bits.TrailingZeros(uint(p.RanksPerChannel))),
+		rowBits:  uint(bits.TrailingZeros(uint(p.RowsPerBank))),
+	}, nil
+}
+
+// Capacity returns the highest mappable address + 1.
+func (m *AddrMap) Capacity() uint64 {
+	return 1 << (m.lineBits + m.chBits + m.colBits + m.bankBits + m.rankBits + m.rowBits)
+}
+
+// Decompose maps a byte address to its DRAM coordinate. Addresses beyond
+// capacity wrap (high bits are ignored), matching real systems' modulo
+// decoding.
+func (m *AddrMap) Decompose(addr uint64) dram.Addr {
+	a := addr >> m.lineBits
+	var out dram.Addr
+	out.Channel = int(a & (1<<m.chBits - 1))
+	a >>= m.chBits
+	out.Col = int(a & (1<<m.colBits - 1))
+	a >>= m.colBits
+	out.Bank = int(a & (1<<m.bankBits - 1))
+	a >>= m.bankBits
+	out.Rank = int(a & (1<<m.rankBits - 1))
+	a >>= m.rankBits
+	out.Row = int(a & (1<<m.rowBits - 1))
+	return out
+}
+
+// Compose maps a DRAM coordinate back to the base byte address of the line.
+func (m *AddrMap) Compose(a dram.Addr) uint64 {
+	v := uint64(a.Row)
+	v = v<<m.rankBits | uint64(a.Rank)
+	v = v<<m.bankBits | uint64(a.Bank)
+	v = v<<m.colBits | uint64(a.Col)
+	v = v<<m.chBits | uint64(a.Channel)
+	return v << m.lineBits
+}

@@ -1,0 +1,101 @@
+package mc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dram"
+)
+
+func mapParams() dram.Params {
+	p := dram.DDR4_2400()
+	p.Channels = 2
+	p.RanksPerChannel = 2
+	p.BanksPerRank = 4
+	p.RowsPerBank = 256
+	p.ColumnsPerRow = 16
+	p.SpareRowsPerBank = 4
+	return p
+}
+
+func TestAddrMapRoundTrip(t *testing.T) {
+	m, err := NewAddrMap(mapParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw uint64) bool {
+		addr := raw % m.Capacity() &^ 63 // line aligned, in range
+		return m.Compose(m.Decompose(addr)) == addr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddrMapComposeRoundTrip(t *testing.T) {
+	p := mapParams()
+	m, err := NewAddrMap(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []dram.Addr{
+		{},
+		{Channel: 1, Rank: 1, Bank: 3, Row: 255, Col: 15},
+		{Channel: 0, Rank: 1, Bank: 2, Row: 100, Col: 7},
+	} {
+		if got := m.Decompose(m.Compose(a)); got != a {
+			t.Errorf("Decompose(Compose(%v)) = %v", a, got)
+		}
+	}
+}
+
+func TestAddrMapInterleaving(t *testing.T) {
+	p := mapParams()
+	m, err := NewAddrMap(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consecutive lines alternate channels; lines within one channel walk
+	// the columns of a single row (row-buffer locality for streams).
+	a0 := m.Decompose(0)
+	a1 := m.Decompose(64)
+	a2 := m.Decompose(128)
+	if a0.Channel == a1.Channel {
+		t.Errorf("lines 0 and 1 share channel %d", a0.Channel)
+	}
+	if a0.Channel != a2.Channel || a0.Row != a2.Row || a0.Bank != a2.Bank {
+		t.Errorf("lines 0 and 2 should share row: %v vs %v", a0, a2)
+	}
+	if a2.Col != a0.Col+1 {
+		t.Errorf("columns not sequential: %v then %v", a0, a2)
+	}
+}
+
+func TestAddrMapCapacity(t *testing.T) {
+	p := mapParams()
+	m, err := NewAddrMap(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := int64(m.Capacity()), p.TotalCapacityBytes(); got != want {
+		t.Errorf("capacity = %d, want %d", got, want)
+	}
+}
+
+func TestAddrMapRejectsNonPowerOfTwo(t *testing.T) {
+	p := mapParams()
+	p.RowsPerBank = 100
+	if _, err := NewAddrMap(p); err == nil {
+		t.Error("non-power-of-two geometry accepted")
+	}
+}
+
+func TestAddrMapWrapsHighBits(t *testing.T) {
+	m, err := NewAddrMap(mapParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Decompose(0) != m.Decompose(m.Capacity()) {
+		t.Error("addresses beyond capacity must wrap")
+	}
+}

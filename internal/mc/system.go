@@ -1,0 +1,703 @@
+// Package mc implements the memory controller: per-channel request queues,
+// FR-FCFS and PAR-BS command scheduling, open/closed/minimalist-open page
+// policies, auto-refresh pacing, and the RCD-mediated adjacent-row-refresh
+// protocol with negative acknowledgements.
+package mc
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/defense"
+	"repro/internal/dram"
+	"repro/internal/rcd"
+	"repro/internal/stats"
+	"repro/internal/timing"
+)
+
+// Config parameterises the controller.
+type Config struct {
+	DRAM       dram.Params
+	QueueDepth int        // per-channel read queue entries
+	Scheduler  Scheduler  // FRFCFS or PARBS
+	PagePolicy PagePolicy // open, closed, or minimalist-open
+	MaxRowHits int        // minimalist-open hit budget before precharge
+	BatchCap   int        // PAR-BS per-(core,bank) marking cap
+
+	// RefreshPostpone allows deferring up to this many auto-refresh
+	// commands per rank while demand traffic is pending (JEDEC permits 8);
+	// the debt is repaid back-to-back once the rank idles or the budget is
+	// exhausted. 0 = strict tREFI pacing.
+	RefreshPostpone int
+
+	// Write buffering: writes are posted into a separate queue and drained
+	// in bursts so they stay off the read critical path. Draining starts at
+	// WriteHigh occupancy (or when the read queue is empty) and stops at
+	// WriteLow. WriteQueueDepth 0 disables buffering (writes share the read
+	// queue).
+	WriteQueueDepth int
+	WriteHigh       int
+	WriteLow        int
+}
+
+// NewConfig returns the paper's Table 4 controller configuration: 64-entry
+// queues, PAR-BS scheduling, minimalist-open paging with 4 row hits.
+func NewConfig(p dram.Params) Config {
+	return Config{
+		DRAM:            p,
+		QueueDepth:      64,
+		Scheduler:       PARBS,
+		PagePolicy:      MinimalistOpen,
+		MaxRowHits:      4,
+		BatchCap:        5,
+		WriteQueueDepth: 64,
+		WriteHigh:       48,
+		WriteLow:        16,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.QueueDepth < 1:
+		return fmt.Errorf("mc: queue depth must be positive, got %d", c.QueueDepth)
+	case c.PagePolicy == MinimalistOpen && c.MaxRowHits < 1:
+		return fmt.Errorf("mc: minimalist-open needs MaxRowHits ≥ 1, got %d", c.MaxRowHits)
+	case c.Scheduler == PARBS && c.BatchCap < 1:
+		return fmt.Errorf("mc: PAR-BS needs BatchCap ≥ 1, got %d", c.BatchCap)
+	case c.WriteQueueDepth > 0 && !(0 <= c.WriteLow && c.WriteLow < c.WriteHigh && c.WriteHigh <= c.WriteQueueDepth):
+		return fmt.Errorf("mc: write watermarks must satisfy 0 ≤ low (%d) < high (%d) ≤ depth (%d)",
+			c.WriteLow, c.WriteHigh, c.WriteQueueDepth)
+	case c.RefreshPostpone < 0 || c.RefreshPostpone > 8:
+		return fmt.Errorf("mc: refresh postponement must lie in [0,8] (JEDEC), got %d", c.RefreshPostpone)
+	}
+	return c.DRAM.Validate()
+}
+
+// mitOp is one unit of defense-mandated work on a bank: refreshing a victim
+// row, or (for CRA) a timing-only access to the counter region.
+type mitOp struct {
+	row           int
+	deviceRefresh bool
+}
+
+// bankCtl is the controller's view of one bank.
+type bankCtl struct {
+	open int // open logical row, -1 when precharged
+	hits int // column accesses since the row opened
+	mit  []mitOp
+}
+
+// channel owns one memory channel's queue and banks.
+type channel struct {
+	sys        *System
+	idx        int
+	queue      []*Request   // demand reads (and writes when buffering is off)
+	wqueue     []*Request   // posted writes awaiting drain
+	draining   bool         // write-drain burst in progress
+	banks      []bankCtl    // rank-major: rank*BanksPerRank + bank
+	refreshDue []clock.Time // per rank
+	coreRank   map[int]int  // PAR-BS thread ranking for the current batch
+	wake       clock.Time
+}
+
+// System is the full memory controller population plus the DRAM device,
+// timing checker, and RCD-hosted defense it drives.
+type System struct {
+	cfg   Config
+	dev   *dram.Device
+	chk   *timing.Checker
+	rcd   *rcd.RCD
+	cnt   *stats.Counters
+	chans []*channel
+	ids   int64
+	// detectionsByCore attributes defense detections to the core whose
+	// activation triggered them — the paper's "penalize malicious users"
+	// capability (§1) that only counter-based schemes provide.
+	detectionsByCore map[int]int64
+}
+
+// New wires a controller over the given device and RCD. The counters object
+// receives all activity accounting.
+func New(cfg Config, dev *dram.Device, r *rcd.RCD, cnt *stats.Counters) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:              cfg,
+		dev:              dev,
+		chk:              timing.NewChecker(cfg.DRAM),
+		rcd:              r,
+		cnt:              cnt,
+		chans:            make([]*channel, cfg.DRAM.Channels),
+		detectionsByCore: map[int]int64{},
+	}
+	for c := range s.chans {
+		ch := &channel{
+			sys:        s,
+			idx:        c,
+			banks:      make([]bankCtl, cfg.DRAM.RanksPerChannel*cfg.DRAM.BanksPerRank),
+			refreshDue: make([]clock.Time, cfg.DRAM.RanksPerChannel),
+			coreRank:   map[int]int{},
+		}
+		for b := range ch.banks {
+			ch.banks[b].open = -1
+		}
+		for rk := range ch.refreshDue {
+			// Stagger rank refreshes across the interval so all ranks never
+			// refresh simultaneously.
+			off := clock.Time(c*cfg.DRAM.RanksPerChannel+rk+1) * cfg.DRAM.TREFI /
+				clock.Time(cfg.DRAM.Channels*cfg.DRAM.RanksPerChannel+1)
+			ch.refreshDue[rk] = cfg.DRAM.TREFI + off
+		}
+		ch.wake = ch.refreshDue[0]
+		for _, d := range ch.refreshDue {
+			ch.wake = clock.Min(ch.wake, d)
+		}
+		s.chans[c] = ch
+	}
+	return s, nil
+}
+
+// Config returns the controller configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Device returns the controlled DRAM device.
+func (s *System) Device() *dram.Device { return s.dev }
+
+// RCD returns the register clock driver.
+func (s *System) RCD() *rcd.RCD { return s.rcd }
+
+// NewID allocates a request id.
+func (s *System) NewID() int64 { s.ids++; return s.ids }
+
+// DetectionsByCore returns, per core, how many row-hammer detections that
+// core's activations triggered (a copy).
+func (s *System) DetectionsByCore() map[int]int64 {
+	out := make(map[int]int64, len(s.detectionsByCore))
+	for c, n := range s.detectionsByCore {
+		out[c] = n
+	}
+	return out
+}
+
+// HasSpace reports whether the channel's queue can accept a request.
+func (s *System) HasSpace(channelIdx int) bool {
+	return len(s.chans[channelIdx].queue) < s.cfg.QueueDepth
+}
+
+// QueueLen returns the channel's current queue occupancy.
+func (s *System) QueueLen(channelIdx int) int { return len(s.chans[channelIdx].queue) }
+
+// Enqueue adds a request to its channel's queue (writes go to the write
+// buffer when buffering is enabled). It returns false if the target queue is
+// full (the caller must retry after progress).
+func (s *System) Enqueue(req *Request, now clock.Time) bool {
+	ch := s.chans[req.Addr.Channel]
+	if req.Write && s.cfg.WriteQueueDepth > 0 {
+		if len(ch.wqueue) >= s.cfg.WriteQueueDepth {
+			return false
+		}
+		req.Arrival = now
+		ch.wqueue = append(ch.wqueue, req)
+		ch.wake = clock.Min(ch.wake, now)
+		return true
+	}
+	if len(ch.queue) >= s.cfg.QueueDepth {
+		return false
+	}
+	req.Arrival = now
+	ch.queue = append(ch.queue, req)
+	ch.wake = clock.Min(ch.wake, now)
+	return true
+}
+
+// WriteQueueLen returns the channel's write-buffer occupancy.
+func (s *System) WriteQueueLen(channelIdx int) int { return len(s.chans[channelIdx].wqueue) }
+
+// NextEvent returns the earliest time any channel has work to do.
+func (s *System) NextEvent() clock.Time {
+	next := clock.Never
+	for _, ch := range s.chans {
+		next = clock.Min(next, ch.wake)
+	}
+	return next
+}
+
+// Advance drives every channel up to and including time now.
+func (s *System) Advance(now clock.Time) {
+	for _, ch := range s.chans {
+		for ch.wake <= now {
+			ch.wake = ch.step(now)
+		}
+	}
+}
+
+func (ch *channel) bankID(rank, bank int) dram.BankID {
+	return dram.BankID{Channel: ch.idx, Rank: rank, Bank: bank}
+}
+
+func (ch *channel) bank(rank, bank int) *bankCtl {
+	return &ch.banks[rank*ch.sys.cfg.DRAM.BanksPerRank+bank]
+}
+
+// candidate is one issuable (or future) command.
+type candidate struct {
+	t     clock.Time
+	class int   // 0 refresh, 1 ARR, 2 mitigation, 3 demand
+	seq   int64 // tie-break within class (scheduler order for demand)
+	run   func(t clock.Time)
+}
+
+// step issues at most one DRAM command for the channel at time now,
+// returning the time of the next step. A return > now means nothing was
+// issuable at now.
+func (ch *channel) step(now clock.Time) clock.Time {
+	s := ch.sys
+	p := s.cfg.DRAM
+	best := candidate{t: clock.Never}
+	earliest := clock.Never
+
+	consider := func(c candidate) {
+		earliest = clock.Min(earliest, c.t)
+		if c.t > now {
+			return
+		}
+		if best.run == nil || c.class < best.class || (c.class == best.class && c.seq < best.seq) {
+			best = c
+		}
+	}
+
+	refreshPending := make([]bool, p.RanksPerChannel)
+	for rk := 0; rk < p.RanksPerChannel; rk++ {
+		due := ch.refreshDue[rk]
+		if now < due {
+			earliest = clock.Min(earliest, due)
+			continue
+		}
+		// JEDEC postponement: defer the REF while demand for this rank is
+		// pending and the debt stays under the budget; the hard deadline
+		// forces the catch-up burst.
+		if pp := s.cfg.RefreshPostpone; pp > 0 {
+			lag := int((now - due) / p.TREFI)
+			if lag < pp && ch.rankHasDemand(rk) {
+				earliest = clock.Min(earliest, due+clock.Time(pp)*p.TREFI)
+				continue
+			}
+		}
+		refreshPending[rk] = true
+		rankID := dram.RankID{Channel: ch.idx, Rank: rk}
+		allClosed := true
+		for ba := 0; ba < p.BanksPerRank; ba++ {
+			if ch.bank(rk, ba).open >= 0 {
+				allClosed = false
+				id := ch.bankID(rk, ba)
+				consider(candidate{t: s.chk.EarliestPRE(id, now), class: 0, run: ch.runPRE(rk, ba)})
+			}
+		}
+		if allClosed {
+			t := s.chk.EarliestREF(rankID, now)
+			consider(candidate{t: t, class: 0, run: ch.runREF(rk)})
+		}
+	}
+
+	for rk := 0; rk < p.RanksPerChannel; rk++ {
+		for ba := 0; ba < p.BanksPerRank; ba++ {
+			id := ch.bankID(rk, ba)
+			b := ch.bank(rk, ba)
+			hasARR := s.rcd.HasPendingARR(id)
+			if !hasARR && len(b.mit) == 0 {
+				continue
+			}
+			if b.open >= 0 {
+				// Close the bank once no queued request still hits the open
+				// row, so in-flight accesses are not starved.
+				if !ch.queuedHit(id, b.open) {
+					class := 2
+					if hasARR {
+						class = 1
+					}
+					consider(candidate{t: s.chk.EarliestPRE(id, now), class: class, run: ch.runPRE(rk, ba)})
+				}
+				continue
+			}
+			if hasARR {
+				consider(candidate{t: s.chk.EarliestARR(id, now), class: 1, run: ch.runARR(rk, ba)})
+				continue
+			}
+			consider(candidate{t: s.chk.EarliestACT(id, now), class: 2, run: ch.runMit(rk, ba)})
+		}
+	}
+
+	ch.scheduleDemand(now, refreshPending, consider)
+
+	if best.run != nil {
+		best.run(best.t)
+		return now // more work may be issuable at the same instant
+	}
+	if earliest <= now {
+		// Defensive: nothing ran but a candidate claimed readiness — avoid
+		// spinning by nudging past the instant.
+		return now + 1
+	}
+	return earliest
+}
+
+// rankHasDemand reports whether any queued request (read or buffered write)
+// targets the rank.
+func (ch *channel) rankHasDemand(rk int) bool {
+	for _, q := range ch.queue {
+		if q.Addr.Rank == rk {
+			return true
+		}
+	}
+	for _, q := range ch.wqueue {
+		if q.Addr.Rank == rk {
+			return true
+		}
+	}
+	return false
+}
+
+// queuedHit reports whether any queued request targets the bank's open row.
+func (ch *channel) queuedHit(id dram.BankID, row int) bool {
+	for _, q := range ch.queue {
+		if q.Addr.Bank == id.Bank && q.Addr.Rank == id.Rank && q.Addr.Row == row {
+			return true
+		}
+	}
+	for _, q := range ch.wqueue {
+		if q.Addr.Bank == id.Bank && q.Addr.Rank == id.Rank && q.Addr.Row == row {
+			return true
+		}
+	}
+	return false
+}
+
+// drainSet decides which queues feed the scheduler this step: reads always;
+// buffered writes only during a drain burst (entered at the high watermark
+// or an idle read queue, left at the low watermark).
+func (ch *channel) drainSet() []*Request {
+	cfg := ch.sys.cfg
+	if cfg.WriteQueueDepth == 0 {
+		return ch.queue
+	}
+	switch {
+	case ch.draining && len(ch.wqueue) <= cfg.WriteLow:
+		ch.draining = false
+	case !ch.draining && (len(ch.wqueue) >= cfg.WriteHigh || (len(ch.queue) == 0 && len(ch.wqueue) > 0)):
+		ch.draining = true
+	}
+	if !ch.draining {
+		// Outside a burst, writes whose row is already open still complete
+		// (they cost one cheap column command and would otherwise strand a
+		// bank that was activated for them during the previous burst).
+		out := ch.queue
+		copied := false
+		for _, q := range ch.wqueue {
+			if ch.bank(q.Addr.Rank, q.Addr.Bank).open == q.Addr.Row {
+				if !copied {
+					out = append([]*Request(nil), ch.queue...)
+					copied = true
+				}
+				out = append(out, q)
+			}
+		}
+		return out
+	}
+	out := make([]*Request, 0, len(ch.queue)+len(ch.wqueue))
+	out = append(out, ch.queue...)
+	out = append(out, ch.wqueue...)
+	return out
+}
+
+// scheduleDemand emits candidates for queued requests in scheduler order.
+func (ch *channel) scheduleDemand(now clock.Time, refreshPending []bool, consider func(candidate)) {
+	s := ch.sys
+	if s.cfg.Scheduler == PARBS {
+		ch.refreshBatch()
+	}
+	pool := ch.drainSet()
+	// A bank's conflicting PRE is only allowed when no queued request hits
+	// the open row; precompute per-bank hit presence.
+	type bankKey struct{ rank, bank int }
+	hits := map[bankKey]bool{}
+	for _, q := range pool {
+		b := ch.bank(q.Addr.Rank, q.Addr.Bank)
+		if b.open == q.Addr.Row {
+			hits[bankKey{q.Addr.Rank, q.Addr.Bank}] = true
+		}
+	}
+	prePlanned := map[bankKey]bool{}
+	for i, q := range pool {
+		if refreshPending[q.Addr.Rank] {
+			continue // drain the rank for refresh
+		}
+		id := q.Addr.BankID()
+		b := ch.bank(q.Addr.Rank, q.Addr.Bank)
+		// Column accesses to the open row always proceed (they drain the
+		// row so mitigation can precharge); opening a new row waits until
+		// the bank's mitigation debt is paid.
+		if b.open != q.Addr.Row && (s.rcd.HasPendingARR(id) || len(b.mit) > 0) {
+			continue
+		}
+		key := bankKey{q.Addr.Rank, q.Addr.Bank}
+		switch {
+		case b.open == q.Addr.Row:
+			t := s.chk.EarliestColumn(id, now)
+			consider(candidate{t: t, class: 3, seq: ch.demandSeq(q, true, i), run: ch.runColumn(q)})
+		case b.open < 0:
+			t := s.chk.EarliestACT(id, now)
+			ch.countNack(q, id, now)
+			consider(candidate{t: t, class: 3, seq: ch.demandSeq(q, false, i), run: ch.runACT(q)})
+		default:
+			if hits[key] || prePlanned[key] {
+				continue // other requests still hit the open row
+			}
+			prePlanned[key] = true
+			t := s.chk.EarliestPRE(id, now)
+			q.neededPRE = true
+			consider(candidate{t: t, class: 3, seq: ch.demandSeq(q, false, i), run: ch.runPRE(q.Addr.Rank, q.Addr.Bank)})
+		}
+	}
+}
+
+// countNack records one nacked command attempt per request per ARR window.
+func (ch *channel) countNack(q *Request, id dram.BankID, now clock.Time) {
+	blocked := ch.sys.chk.RankBlockedUntil(id.RankID())
+	if blocked > now && q.nackWindow != blocked {
+		q.nackWindow = blocked
+		ch.sys.rcd.Nack()
+		ch.sys.cnt.Nacks++
+	}
+}
+
+// demandSeq orders demand candidates: PAR-BS prioritises marked requests and
+// lighter threads; both schedulers serve row hits before misses and then go
+// oldest-first.
+func (ch *channel) demandSeq(q *Request, hit bool, queueIdx int) int64 {
+	var seq int64
+	// During a drain burst, buffered writes count as first-class work so a
+	// steady read stream cannot starve the write buffer into backpressure.
+	marked := q.marked || (ch.draining && q.Write)
+	if ch.sys.cfg.Scheduler == PARBS && !marked {
+		seq |= 1 << 50
+	}
+	if !hit {
+		seq |= 1 << 45
+	}
+	if ch.sys.cfg.Scheduler == PARBS {
+		seq |= int64(ch.coreRank[q.Core]) << 25
+	}
+	return seq | int64(queueIdx)
+}
+
+// refreshBatch forms a new PAR-BS batch when the current one has drained:
+// the oldest BatchCap requests per (core, bank) are marked, and cores are
+// ranked by their total marked load (lightest first).
+func (ch *channel) refreshBatch() {
+	for _, q := range ch.queue {
+		if q.marked {
+			return
+		}
+	}
+	if len(ch.queue) == 0 {
+		return
+	}
+	type slot struct{ core, rank, bank int }
+	perSlot := map[slot]int{}
+	load := map[int]int{}
+	for _, q := range ch.queue {
+		k := slot{q.Core, q.Addr.Rank, q.Addr.Bank}
+		if perSlot[k] < ch.sys.cfg.BatchCap {
+			perSlot[k]++
+			q.marked = true
+			load[q.Core]++
+		}
+	}
+	// Rank cores by marked load ascending (shortest job first).
+	cores := make([]int, 0, len(load))
+	for c := range load {
+		cores = append(cores, c)
+	}
+	for i := 1; i < len(cores); i++ { // insertion sort: tiny n
+		for j := i; j > 0 && (load[cores[j]] < load[cores[j-1]] ||
+			(load[cores[j]] == load[cores[j-1]] && cores[j] < cores[j-1])); j-- {
+			cores[j], cores[j-1] = cores[j-1], cores[j]
+		}
+	}
+	ch.coreRank = make(map[int]int, len(cores))
+	for rank, c := range cores {
+		ch.coreRank[c] = rank
+	}
+}
+
+// ---- command execution ----
+
+func (ch *channel) runPRE(rk, ba int) func(clock.Time) {
+	return func(t clock.Time) {
+		s := ch.sys
+		id := ch.bankID(rk, ba)
+		must(s.chk.RecordPRE(id, t))
+		s.dev.Bank(id).Precharge()
+		b := ch.bank(rk, ba)
+		b.open = -1
+		b.hits = 0
+		s.cnt.Precharges++
+	}
+}
+
+func (ch *channel) runREF(rk int) func(clock.Time) {
+	return func(t clock.Time) {
+		s := ch.sys
+		rankID := dram.RankID{Channel: ch.idx, Rank: rk}
+		must(s.chk.RecordREF(rankID, t))
+		for ba := 0; ba < s.cfg.DRAM.BanksPerRank; ba++ {
+			must(s.dev.Bank(ch.bankID(rk, ba)).AutoRefresh(t))
+		}
+		s.rcd.ObserveRefresh(rankID, t)
+		s.cnt.Refreshes++
+		ch.refreshDue[rk] += s.cfg.DRAM.TREFI
+	}
+}
+
+func (ch *channel) runARR(rk, ba int) func(clock.Time) {
+	return func(t clock.Time) {
+		s := ch.sys
+		id := ch.bankID(rk, ba)
+		row, ok := s.rcd.TakeARR(id)
+		if !ok {
+			return
+		}
+		must(s.chk.RecordARR(id, t))
+		n, err := s.dev.Bank(id).AdjacentRowRefresh(row, t)
+		must(err)
+		s.cnt.ARRs++
+		s.cnt.DefenseACTs += int64(n)
+	}
+}
+
+func (ch *channel) runMit(rk, ba int) func(clock.Time) {
+	return func(t clock.Time) {
+		s := ch.sys
+		id := ch.bankID(rk, ba)
+		b := ch.bank(rk, ba)
+		if len(b.mit) == 0 {
+			return
+		}
+		op := b.mit[0]
+		b.mit = b.mit[1:]
+		must(s.chk.RecordACT(id, t))
+		preAt := s.chk.EarliestPRE(id, t)
+		must(s.chk.RecordPRE(id, preAt))
+		if op.deviceRefresh {
+			bank := s.dev.Bank(id)
+			must(bank.Activate(op.row, t))
+			bank.Precharge()
+		}
+		s.cnt.DefenseACTs++
+	}
+}
+
+func (ch *channel) runACT(q *Request) func(clock.Time) {
+	return func(t clock.Time) {
+		s := ch.sys
+		id := q.Addr.BankID()
+		must(s.chk.RecordACT(id, t))
+		must(s.dev.Bank(id).Activate(q.Addr.Row, t))
+		b := ch.bank(q.Addr.Rank, q.Addr.Bank)
+		b.open = q.Addr.Row
+		b.hits = 0
+		q.neededACT = true
+		s.cnt.NormalACTs++
+		ch.applyAction(id, q.Core, s.rcd.ObserveACT(id, q.Addr.Row, t))
+	}
+}
+
+// applyAction queues the mitigation work a defense requested, attributing
+// any detection to the core whose activation caused it.
+func (ch *channel) applyAction(id dram.BankID, core int, a defense.Action) {
+	s := ch.sys
+	b := ch.bank(id.Rank, id.Bank)
+	for _, v := range a.LogicalVictims {
+		if v >= 0 && v < s.cfg.DRAM.RowsPerBank {
+			b.mit = append(b.mit, mitOp{row: v, deviceRefresh: true})
+		}
+	}
+	for i := 0; i < a.ExtraAccesses; i++ {
+		b.mit = append(b.mit, mitOp{deviceRefresh: false})
+	}
+	if a.Detected {
+		s.cnt.Detections++
+		s.detectionsByCore[core]++
+	}
+}
+
+func (ch *channel) runColumn(q *Request) func(clock.Time) {
+	return func(t clock.Time) {
+		s := ch.sys
+		id := q.Addr.BankID()
+		var done clock.Time
+		var err error
+		if q.Write {
+			done, err = s.chk.RecordWrite(id, t)
+			s.cnt.Writes++
+		} else {
+			done, err = s.chk.RecordRead(id, t)
+			s.cnt.Reads++
+		}
+		must(err)
+		switch {
+		case !q.neededACT:
+			s.cnt.RowHits++
+		case q.neededPRE:
+			s.cnt.RowConflicts++
+		default:
+			s.cnt.RowMisses++
+		}
+		ch.removeRequest(q)
+		b := ch.bank(q.Addr.Rank, q.Addr.Bank)
+		b.hits++
+		closeNow := s.cfg.PagePolicy == ClosedPage ||
+			(s.cfg.PagePolicy == MinimalistOpen && b.hits >= s.cfg.MaxRowHits)
+		if closeNow {
+			preAt := s.chk.EarliestPRE(id, t)
+			must(s.chk.RecordPRE(id, preAt))
+			s.dev.Bank(id).Precharge()
+			b.open = -1
+			b.hits = 0
+			s.cnt.Precharges++
+		}
+		completion := done
+		if q.Write {
+			completion = t // posted write: the issuer does not wait
+		}
+		s.cnt.AddLatency(completion - q.Arrival)
+		if q.Done != nil {
+			q.Done(completion)
+		}
+	}
+}
+
+func (ch *channel) removeRequest(q *Request) {
+	for i, r := range ch.queue {
+		if r == q {
+			ch.queue = append(ch.queue[:i], ch.queue[i+1:]...)
+			return
+		}
+	}
+	for i, r := range ch.wqueue {
+		if r == q {
+			ch.wqueue = append(ch.wqueue[:i], ch.wqueue[i+1:]...)
+			return
+		}
+	}
+}
+
+// must converts internal protocol violations into panics: they indicate a
+// scheduler bug, never a caller error.
+func must(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("mc: internal protocol violation: %v", err))
+	}
+}

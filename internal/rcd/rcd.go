@@ -1,0 +1,97 @@
+// Package rcd models the registered-DIMM register clock driver that hosts
+// the TWiCe table in the paper's architecture (§5): it observes the repeated
+// command/address stream, runs the row-hammer defense, holds at most one
+// pending adjacent-row-refresh per bank, and accounts for the negative
+// acknowledgements sent to the memory controller while an ARR occupies a
+// rank. Baseline defenses (which the original papers place in the MC) run
+// through the same observation point; only the ARR path is RCD-specific.
+package rcd
+
+import (
+	"repro/internal/clock"
+	"repro/internal/defense"
+	"repro/internal/dram"
+)
+
+// Stats counts RCD-level events.
+type Stats struct {
+	ARRsIssued int64 // adjacent-row-refresh commands forwarded to the device
+	Nacks      int64 // controller commands nacked during ARR windows
+	Detections int64 // defense detections observed
+}
+
+// RCD wires a defense into the command stream.
+type RCD struct {
+	p   dram.Params
+	def defense.Defense
+	// pendingARR[flatBank] holds aggressor rows awaiting ARR. The paper's
+	// protocol converts the aggressor's PRE into an ARR; detection happens
+	// on the ACT, so there is at most one pending aggressor per bank, but a
+	// slice keeps the model robust to defenses that flag several.
+	pendingARR [][]int
+	stats      Stats
+}
+
+// New builds an RCD hosting the given defense.
+func New(p dram.Params, def defense.Defense) *RCD {
+	return &RCD{
+		p:          p,
+		def:        def,
+		pendingARR: make([][]int, p.TotalBanks()),
+	}
+}
+
+// Defense returns the hosted defense.
+func (r *RCD) Defense() defense.Defense { return r.def }
+
+// Stats returns a copy of the event counters.
+func (r *RCD) Stats() Stats { return r.stats }
+
+// ObserveACT reports one activation to the defense and files any requested
+// ARRs as pending work for the bank. The remaining mitigation work (victim
+// refreshes the controller performs itself, extra counter traffic) is
+// returned for the controller to execute.
+func (r *RCD) ObserveACT(bank dram.BankID, row int, now clock.Time) defense.Action {
+	a := r.def.OnActivate(bank, row, now)
+	if a.Detected {
+		r.stats.Detections++
+	}
+	if len(a.ARRAggressors) > 0 {
+		i := bank.Flat(r.p)
+		r.pendingARR[i] = append(r.pendingARR[i], a.ARRAggressors...)
+		a.ARRAggressors = nil
+	}
+	return a
+}
+
+// ObserveRefresh reports one auto-refresh tick on every bank of the rank
+// (TWiCe prunes its tables in the shadow of the refresh).
+func (r *RCD) ObserveRefresh(rank dram.RankID, now clock.Time) {
+	for ba := 0; ba < r.p.BanksPerRank; ba++ {
+		r.def.OnRefreshTick(dram.BankID{Channel: rank.Channel, Rank: rank.Rank, Bank: ba}, now)
+	}
+}
+
+// HasPendingARR reports whether the bank owes an adjacent-row refresh.
+func (r *RCD) HasPendingARR(bank dram.BankID) bool {
+	return len(r.pendingARR[bank.Flat(r.p)]) > 0
+}
+
+// TakeARR pops the next pending aggressor row for the bank; the controller
+// calls this at the aggressor's precharge point, where the RCD substitutes
+// the ARR command. ok is false when nothing is pending.
+func (r *RCD) TakeARR(bank dram.BankID) (row int, ok bool) {
+	i := bank.Flat(r.p)
+	q := r.pendingARR[i]
+	if len(q) == 0 {
+		return 0, false
+	}
+	row = q[0]
+	r.pendingARR[i] = q[1:]
+	r.stats.ARRsIssued++
+	return row, true
+}
+
+// Nack records one nacked command attempt (a controller command that
+// targeted a rank while an ARR was underway).
+func (r *RCD) Nack() { r.stats.Nacks++ }

@@ -1,0 +1,311 @@
+// Package sim assembles the full simulated machine of Table 4 — workload
+// generators driving application-level cores, the private/shared cache
+// hierarchy, the memory controllers, the RCD-hosted row-hammer defense, and
+// the DRAM device model — and runs it to completion under a request or time
+// budget.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cache"
+	"repro/internal/clock"
+	"repro/internal/cpu"
+	"repro/internal/defense"
+	"repro/internal/dram"
+	"repro/internal/mc"
+	"repro/internal/rcd"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Config describes the simulated machine.
+type Config struct {
+	DRAM  dram.Params
+	MC    mc.Config
+	Cache cache.HierarchyConfig
+	CPU   cpu.Config
+	// Seed drives every stochastic element (remap layout, retry jitter).
+	Seed int64
+	// Remap enables spare-row remapping sampled at DRAM.SCFRate.
+	Remap bool
+}
+
+// DefaultConfig returns the paper's Table 4 machine for the given core
+// count: DDR4-2400 with 2 channels × 2 ranks × 16 banks, PAR-BS scheduling,
+// minimalist-open paging, the default cache hierarchy, and remapping on.
+func DefaultConfig(cores int) Config {
+	p := dram.DDR4_2400()
+	return Config{
+		DRAM:  p,
+		MC:    mc.NewConfig(p),
+		Cache: cache.DefaultHierarchy(cores),
+		CPU:   cpu.DefaultConfig(),
+		Seed:  1,
+		Remap: true,
+	}
+}
+
+// Validate reports whether the machine description is consistent.
+func (c Config) Validate() error {
+	if err := c.DRAM.Validate(); err != nil {
+		return err
+	}
+	if err := c.MC.Validate(); err != nil {
+		return err
+	}
+	if err := c.Cache.Validate(); err != nil {
+		return err
+	}
+	return c.CPU.Validate()
+}
+
+// Limits bounds a run: it stops when either limit is reached.
+type Limits struct {
+	// MaxRequests stops after this many memory requests complete. Demand
+	// fills, prefetches, and writebacks all count: the bound is on memory
+	// work performed, so streaming workloads whose reads are fully covered
+	// by the prefetcher still make progress against it.
+	MaxRequests int64
+	// MaxTime stops at this simulated time.
+	MaxTime clock.Time
+}
+
+// DefaultLimits bounds a run to the given number of memory requests with a
+// generous one-second simulated-time ceiling.
+func DefaultLimits(requests int64) Limits {
+	return Limits{MaxRequests: requests, MaxTime: clock.Second}
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Workload string
+	Defense  string
+	Counters stats.Counters
+	SimTime  clock.Time
+	Flips    []dram.Flip
+	RCD      rcd.Stats
+	// DetectionsByCore attributes detections to the triggering core — the
+	// "identify the attacker" capability of counter-based schemes.
+	DetectionsByCore map[int]int64
+
+	// Cache behaviour (zero when the workload bypassed the caches).
+	L3 cache.Stats
+}
+
+// String summarises the result.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s/%s: %s simTime=%v", r.Workload, r.Defense, r.Counters.String(), r.SimTime)
+}
+
+// Machine is an assembled system ready to run.
+type Machine struct {
+	cfg   Config
+	w     workload.Workload
+	def   defense.Defense
+	dev   *dram.Device
+	amap  *mc.AddrMap
+	sys   *mc.System
+	hier  *cache.Hierarchy
+	cores []*cpu.Core
+	cnt   *stats.Counters
+}
+
+// NewMachine assembles a machine running the workload under the defense.
+func NewMachine(cfg Config, def defense.Defense, w workload.Workload) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if def == nil {
+		def = defense.Nop{}
+	}
+	var remapRng *rand.Rand
+	if cfg.Remap {
+		remapRng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	dev, err := dram.NewDevice(cfg.DRAM, remapRng)
+	if err != nil {
+		return nil, err
+	}
+	amap, err := mc.NewAddrMap(cfg.DRAM)
+	if err != nil {
+		return nil, err
+	}
+	cnt := &stats.Counters{}
+	sys, err := mc.New(cfg.MC, dev, rcd.New(cfg.DRAM, def), cnt)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg: cfg, w: w, def: def,
+		dev: dev, amap: amap, sys: sys, cnt: cnt,
+		cores: make([]*cpu.Core, w.Cores()),
+	}
+	if !w.BypassCache {
+		hcfg := cfg.Cache
+		hcfg.Cores = w.Cores()
+		if m.hier, err = cache.NewHierarchy(hcfg); err != nil {
+			return nil, err
+		}
+	}
+	for i := range m.cores {
+		if m.cores[i], err = cpu.New(i, cfg.CPU, w.Gens[i]); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Counters exposes the live counters (reports read them after Run).
+func (m *Machine) Counters() *stats.Counters { return m.cnt }
+
+// Device exposes the DRAM device (for flip inspection).
+func (m *Machine) Device() *dram.Device { return m.dev }
+
+// AddrMap exposes the controller's address mapping.
+func (m *Machine) AddrMap() *mc.AddrMap { return m.amap }
+
+// retryDelay spaces queue-full retries.
+const retryDelay = 100 * clock.Nanosecond
+
+// Run executes the machine until a limit is reached and returns the result.
+func (m *Machine) Run(lim Limits) (*Result, error) {
+	if lim.MaxRequests <= 0 && lim.MaxTime <= 0 {
+		return nil, fmt.Errorf("sim: limits must bound the run: %+v", lim)
+	}
+	if lim.MaxTime <= 0 {
+		lim.MaxTime = clock.Never
+	}
+	if lim.MaxRequests <= 0 {
+		lim.MaxRequests = 1<<62 - 1
+	}
+
+	var served int64
+	now := clock.Time(0)
+	for served < lim.MaxRequests && now < lim.MaxTime {
+		next := m.sys.NextEvent()
+		for _, c := range m.cores {
+			next = clock.Min(next, c.NextEventTime())
+		}
+		if next == clock.Never {
+			return nil, fmt.Errorf("sim: deadlock at %v (served %d)", now, served)
+		}
+		now = next
+		if now >= lim.MaxTime {
+			break
+		}
+		m.sys.Advance(now)
+		for _, c := range m.cores {
+			if c.NextEventTime() <= now {
+				m.coreStep(c, now, &served)
+			}
+		}
+	}
+
+	// Drain: let in-flight mitigation work (ARRs, victim refreshes) finish
+	// so defense accounting is complete.
+	drainUntil := now + 2*m.cfg.DRAM.TREFI
+	for {
+		t := m.sys.NextEvent()
+		if t > drainUntil {
+			break
+		}
+		m.sys.Advance(t)
+	}
+
+	for _, c := range m.cores {
+		m.cnt.Instructions += c.Instructions()
+	}
+	res := &Result{
+		Workload:         m.w.Name,
+		Defense:          m.def.Name(),
+		Counters:         *m.cnt,
+		SimTime:          now,
+		RCD:              m.sys.RCD().Stats(),
+		DetectionsByCore: m.sys.DetectionsByCore(),
+	}
+	for _, b := range m.dev.Banks() {
+		res.Flips = append(res.Flips, b.Flips()...)
+	}
+	if m.hier != nil {
+		res.L3 = m.hier.L3Stats()
+	}
+	return res, nil
+}
+
+// coreStep advances one core by one access.
+func (m *Machine) coreStep(c *cpu.Core, now clock.Time, served *int64) {
+	a := c.Take(now)
+	addr := a.Addr &^ 63
+
+	if m.w.BypassCache {
+		m.submit(c, addr, a.Write, now, served)
+		return
+	}
+
+	res := m.hier.Access(c.ID, addr, a.Write)
+	if res.HitLevel > 0 {
+		c.OnHit(res.Latency)
+		m.cnt.CacheHits++
+	} else {
+		m.cnt.CacheMisses++
+	}
+	for _, ma := range res.Mem {
+		switch {
+		case ma.Demand:
+			m.submit(c, ma.Addr, false, now, served)
+		case ma.Prefetch:
+			m.submitBestEffort(c.ID, ma.Addr, false, now, served)
+		default: // writeback or non-blocking fill
+			m.submitBestEffort(c.ID, ma.Addr, ma.Write, now, served)
+		}
+	}
+}
+
+// submit enqueues a demand access, deferring the core when the queue is
+// full.
+func (m *Machine) submit(c *cpu.Core, addr uint64, write bool, now clock.Time, served *int64) {
+	req := &mc.Request{
+		ID:    m.sys.NewID(),
+		Addr:  m.amap.Decompose(addr),
+		Write: write,
+		Core:  c.ID,
+	}
+	req.Done = func(clock.Time) {
+		c.OnComplete()
+		*served++
+	}
+	if !m.sys.Enqueue(req, now) {
+		c.Defer(workload.Access{Addr: addr, Write: write, Gap: 1}, now+retryDelay)
+		return
+	}
+	c.OnMiss()
+}
+
+// submitBestEffort enqueues fire-and-forget traffic (writebacks,
+// prefetches); when the queue is full the access is dropped, which is what
+// real prefetchers do and is harmless for write data in a reliability model.
+// Completions still count toward the run's request budget.
+func (m *Machine) submitBestEffort(coreID int, addr uint64, write bool, now clock.Time, served *int64) {
+	req := &mc.Request{
+		ID:    m.sys.NewID(),
+		Addr:  m.amap.Decompose(addr),
+		Write: write,
+		Core:  coreID,
+	}
+	req.Done = func(clock.Time) { *served++ }
+	m.sys.Enqueue(req, now)
+}
+
+// Run is the package-level convenience: assemble and run in one call.
+func Run(cfg Config, def defense.Defense, w workload.Workload, lim Limits) (*Result, error) {
+	m, err := NewMachine(cfg, def, w)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(lim)
+}

@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+)
+
+func TestAdditionalACTRatio(t *testing.T) {
+	var c Counters
+	if got := c.AdditionalACTRatio(); got != 0 {
+		t.Errorf("empty ratio = %v, want 0", got)
+	}
+	c.NormalACTs = 32768
+	c.DefenseACTs = 2
+	want := 2.0 / 32768.0
+	if got := c.AdditionalACTRatio(); got != want {
+		t.Errorf("ratio = %v, want %v (the paper's 0.006%% S3 figure)", got, want)
+	}
+}
+
+func TestLatencyAccounting(t *testing.T) {
+	var c Counters
+	c.AddLatency(100 * clock.Nanosecond)
+	c.AddLatency(300 * clock.Nanosecond)
+	if got := c.AvgLatency(); got != 200*clock.Nanosecond {
+		t.Errorf("avg latency = %v, want 200ns", got)
+	}
+	if c.MaxLatency != 300*clock.Nanosecond {
+		t.Errorf("max latency = %v, want 300ns", c.MaxLatency)
+	}
+	var empty Counters
+	if empty.AvgLatency() != 0 {
+		t.Error("empty avg latency must be 0")
+	}
+}
+
+func TestRowHitRate(t *testing.T) {
+	var c Counters
+	if c.RowHitRate() != 0 {
+		t.Error("empty hit rate must be 0")
+	}
+	c.RowHits, c.RowMisses, c.RowConflicts = 6, 3, 1
+	if got := c.RowHitRate(); got != 0.6 {
+		t.Errorf("hit rate = %v, want 0.6", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Counters{NormalACTs: 10, DefenseACTs: 1, Nacks: 2, BitFlips: 1, MaxLatency: 5}
+	b := Counters{NormalACTs: 20, DefenseACTs: 3, Detections: 4, MaxLatency: 9}
+	a.Merge(b)
+	if a.NormalACTs != 30 || a.DefenseACTs != 4 || a.Nacks != 2 || a.Detections != 4 || a.BitFlips != 1 {
+		t.Errorf("merge result wrong: %+v", a)
+	}
+	if a.MaxLatency != 9 {
+		t.Errorf("merge max latency = %v, want 9", a.MaxLatency)
+	}
+}
+
+func TestCountersString(t *testing.T) {
+	c := Counters{NormalACTs: 1000, DefenseACTs: 1}
+	s := c.String()
+	if !strings.Contains(s, "ACTs=1000") || !strings.Contains(s, "0.1000%") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(10, 100, 1000)
+	for _, v := range []int64{1, 5, 10, 11, 99, 100, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Max() != 5000 {
+		t.Errorf("max = %d", h.Max())
+	}
+	wantMean := float64(1+5+10+11+99+100+5000) / 7
+	if got := h.Mean(); got != wantMean {
+		t.Errorf("mean = %v, want %v", got, wantMean)
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	h := NewHistogram(10, 100, 1000)
+	for i := 0; i < 90; i++ {
+		h.Observe(5)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(500)
+	}
+	if got := h.Percentile(0.5); got != 10 {
+		t.Errorf("p50 = %d, want 10 (bucket bound)", got)
+	}
+	if got := h.Percentile(0.99); got != 1000 {
+		t.Errorf("p99 = %d, want 1000", got)
+	}
+	var empty Histogram
+	if empty.Percentile(0.5) != 0 {
+		t.Error("empty percentile must be 0")
+	}
+}
+
+func TestHistogramOverflowPercentile(t *testing.T) {
+	h := NewHistogram(10)
+	h.Observe(99999)
+	if got := h.Percentile(1.0); got != 99999 {
+		t.Errorf("overflow percentile = %d, want observed max", got)
+	}
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-ascending bounds did not panic")
+		}
+	}()
+	NewHistogram(10, 10)
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(10, 100)
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(5000)
+	s := h.String()
+	for _, want := range []string{"n=3", "≤10:1", "≤100:1", ">100:1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}

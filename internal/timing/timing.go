@@ -1,0 +1,309 @@
+// Package timing enforces the DRAM command timing protocol: per-bank cycle
+// constraints (tRC, tRAS, tRP, tRCD), per-rank activation throttles (tRRD,
+// tFAW), column/data-bus occupancy, and the occupancy windows of refresh and
+// adjacent-row-refresh commands. The memory controller consults a Checker to
+// learn the earliest legal issue time for each command and records every
+// command it issues.
+package timing
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/dram"
+)
+
+// Command enumerates the DRAM commands whose timing the checker tracks.
+type Command int
+
+// DRAM commands.
+const (
+	ACT Command = iota // activate a row
+	PRE                // precharge the open row
+	RD                 // column read
+	WR                 // column write
+	REF                // per-rank auto-refresh
+	ARR                // adjacent row refresh (issued by the RCD)
+)
+
+// String names the command as it would appear on a command trace.
+func (c Command) String() string {
+	switch c {
+	case ACT:
+		return "ACT"
+	case PRE:
+		return "PRE"
+	case RD:
+		return "RD"
+	case WR:
+		return "WR"
+	case REF:
+		return "REF"
+	case ARR:
+		return "ARR"
+	default:
+		return fmt.Sprintf("Command(%d)", int(c))
+	}
+}
+
+type bankState struct {
+	rowOpen   bool
+	nextACT   clock.Time // earliest legal ACT (tRC / tRP / refresh occupancy)
+	nextPRE   clock.Time // earliest legal PRE (tRAS / write recovery)
+	nextCol   clock.Time // earliest legal RD/WR (tRCD)
+	busyUntil clock.Time // REF or ARR occupancy
+}
+
+type rankState struct {
+	lastACT      clock.Time    // issue time of the previous ACT (for tRRD)
+	lastACTGroup int           // bank group of the previous ACT
+	lastCol      clock.Time    // issue time of the previous column command
+	lastColGroup int           // bank group of the previous column command
+	faw          [4]clock.Time // issue times of the last four ACTs
+	fawIdx       int
+	blockedUntil clock.Time // ARR nack window: no ACT to the rank
+	refReady     clock.Time // earliest next REF (tREFI pacing is the MC's job)
+}
+
+// Checker tracks protocol state for every bank and rank in the system.
+type Checker struct {
+	p       dram.Params
+	banks   []bankState
+	ranks   []rankState
+	busFree []clock.Time // per-channel data bus availability
+}
+
+// NewChecker builds a checker for the given configuration. All commands are
+// legal at time zero.
+func NewChecker(p dram.Params) *Checker {
+	c := &Checker{
+		p:       p,
+		banks:   make([]bankState, p.TotalBanks()),
+		ranks:   make([]rankState, p.Channels*p.RanksPerChannel),
+		busFree: make([]clock.Time, p.Channels),
+	}
+	for i := range c.ranks {
+		c.ranks[i].lastACT = -clock.Never // effectively -inf: no prior ACT
+		c.ranks[i].lastCol = -clock.Never
+		for j := range c.ranks[i].faw {
+			c.ranks[i].faw[j] = -clock.Never // effectively -inf: window empty
+		}
+	}
+	return c
+}
+
+func (c *Checker) bank(id dram.BankID) *bankState { return &c.banks[id.Flat(c.p)] }
+func (c *Checker) rank(id dram.BankID) *rankState { return &c.ranks[id.RankID().Flat(c.p)] }
+
+// RowOpen reports whether the checker believes the bank has an open row.
+func (c *Checker) RowOpen(id dram.BankID) bool { return c.bank(id).rowOpen }
+
+// EarliestACT returns the earliest time ≥ now at which an ACT may issue to
+// the bank. It accounts for tRC/tRP, the rank's tRRD and tFAW windows, any
+// REF/ARR occupancy, and ARR rank blocking.
+func (c *Checker) EarliestACT(id dram.BankID, now clock.Time) clock.Time {
+	b, r := c.bank(id), c.rank(id)
+	t := clock.Max(now, b.nextACT)
+	t = clock.Max(t, b.busyUntil)
+	t = clock.Max(t, r.blockedUntil)
+	// tRRD: the long value applies when the previous ACT hit the same bank
+	// group (DDR4 bank-group timing).
+	rrd := c.p.TRRD
+	if c.p.BankGroup(id.Bank) == r.lastACTGroup {
+		rrd = c.p.RRDWithin()
+	}
+	t = clock.Max(t, r.lastACT+rrd)
+	// tFAW: the 4th-previous ACT must be at least tFAW in the past.
+	oldest := r.faw[r.fawIdx]
+	if oldest != -clock.Never {
+		t = clock.Max(t, oldest+c.p.TFAW)
+	}
+	return t
+}
+
+// RecordACT registers an ACT issued at time t to the bank. The caller must
+// have honoured EarliestACT; violations return an error so simulator bugs
+// surface immediately instead of silently producing impossible schedules.
+func (c *Checker) RecordACT(id dram.BankID, t clock.Time) error {
+	if e := c.EarliestACT(id, t); t < e {
+		return fmt.Errorf("timing: ACT to %v at %v violates constraints (earliest %v)", id, t, e)
+	}
+	b, r := c.bank(id), c.rank(id)
+	if b.rowOpen {
+		return fmt.Errorf("timing: ACT to %v at %v with row already open", id, t)
+	}
+	b.rowOpen = true
+	b.nextACT = t + c.p.TRC
+	b.nextPRE = t + c.p.TRAS
+	b.nextCol = t + c.p.TRCD
+	r.lastACT = t
+	r.lastACTGroup = c.p.BankGroup(id.Bank)
+	r.faw[r.fawIdx] = t
+	r.fawIdx = (r.fawIdx + 1) % len(r.faw)
+	return nil
+}
+
+// EarliestPRE returns the earliest time ≥ now at which the open row may be
+// precharged.
+func (c *Checker) EarliestPRE(id dram.BankID, now clock.Time) clock.Time {
+	b := c.bank(id)
+	return clock.Max(clock.Max(now, b.nextPRE), b.busyUntil)
+}
+
+// RecordPRE registers a PRE issued at time t.
+func (c *Checker) RecordPRE(id dram.BankID, t clock.Time) error {
+	b := c.bank(id)
+	if !b.rowOpen {
+		return fmt.Errorf("timing: PRE to %v at %v with no open row", id, t)
+	}
+	if e := c.EarliestPRE(id, t); t < e {
+		return fmt.Errorf("timing: PRE to %v at %v violates constraints (earliest %v)", id, t, e)
+	}
+	b.rowOpen = false
+	b.nextACT = clock.Max(b.nextACT, t+c.p.TRP)
+	return nil
+}
+
+// EarliestColumn returns the earliest time ≥ now at which a RD or WR may
+// issue to the bank's open row, including channel data-bus availability.
+func (c *Checker) EarliestColumn(id dram.BankID, now clock.Time) clock.Time {
+	b, r := c.bank(id), c.rank(id)
+	t := clock.Max(now, b.nextCol)
+	t = clock.Max(t, b.busyUntil)
+	// tCCD: the long value applies within one bank group.
+	ccd := c.p.TCCD
+	if c.p.BankGroup(id.Bank) == r.lastColGroup {
+		ccd = c.p.CCDWithin()
+	}
+	t = clock.Max(t, r.lastCol+ccd)
+	// The data burst must find the channel bus free. Bursts occupy the bus
+	// tCL after the command; model bus contention at command granularity.
+	if busAt := c.busFree[id.Channel] - c.p.TCL; t < busAt {
+		t = busAt
+	}
+	return t
+}
+
+// RecordRead registers a RD at time t and returns the completion time at
+// which data has fully returned to the controller.
+func (c *Checker) RecordRead(id dram.BankID, t clock.Time) (clock.Time, error) {
+	b := c.bank(id)
+	if !b.rowOpen {
+		return 0, fmt.Errorf("timing: RD to %v at %v with no open row", id, t)
+	}
+	if e := c.EarliestColumn(id, t); t < e {
+		return 0, fmt.Errorf("timing: RD to %v at %v violates constraints (earliest %v)", id, t, e)
+	}
+	done := t + c.p.TCL + c.p.TBL
+	c.busFree[id.Channel] = done
+	c.recordCol(id, t)
+	// Reads delay precharge by roughly the burst (tRTP folded into tCCD+tBL).
+	b.nextPRE = clock.Max(b.nextPRE, t+c.p.CCDWithin()+c.p.TBL)
+	return done, nil
+}
+
+// recordCol notes a column command for bank-group tCCD tracking.
+func (c *Checker) recordCol(id dram.BankID, t clock.Time) {
+	b, r := c.bank(id), c.rank(id)
+	b.nextCol = t + c.p.CCDWithin()
+	r.lastCol = t
+	r.lastColGroup = c.p.BankGroup(id.Bank)
+}
+
+// RecordWrite registers a WR at time t and returns the time the write has
+// been committed to the array (after write recovery).
+func (c *Checker) RecordWrite(id dram.BankID, t clock.Time) (clock.Time, error) {
+	b := c.bank(id)
+	if !b.rowOpen {
+		return 0, fmt.Errorf("timing: WR to %v at %v with no open row", id, t)
+	}
+	if e := c.EarliestColumn(id, t); t < e {
+		return 0, fmt.Errorf("timing: WR to %v at %v violates constraints (earliest %v)", id, t, e)
+	}
+	burstEnd := t + c.p.TCL + c.p.TBL
+	done := burstEnd + c.p.TWR
+	c.busFree[id.Channel] = burstEnd
+	c.recordCol(id, t)
+	b.nextPRE = clock.Max(b.nextPRE, done)
+	return done, nil
+}
+
+// EarliestREF returns the earliest time ≥ now a per-rank auto-refresh can
+// issue: every bank in the rank precharged and past its tRP, and the rank
+// not inside an ARR block.
+func (c *Checker) EarliestREF(id dram.RankID, now clock.Time) clock.Time {
+	t := now
+	r := &c.ranks[id.Flat(c.p)]
+	t = clock.Max(t, r.blockedUntil)
+	t = clock.Max(t, r.refReady)
+	for ba := 0; ba < c.p.BanksPerRank; ba++ {
+		b := c.bank(dram.BankID{Channel: id.Channel, Rank: id.Rank, Bank: ba})
+		t = clock.Max(t, b.busyUntil)
+		if b.rowOpen {
+			return clock.Never // caller must precharge first
+		}
+		t = clock.Max(t, b.nextACT-c.p.TRC+c.p.TRP) // conservative: past tRP
+	}
+	return t
+}
+
+// RecordREF registers an auto-refresh on the rank at time t; all banks in
+// the rank are busy until t+tRFC.
+func (c *Checker) RecordREF(id dram.RankID, t clock.Time) error {
+	if e := c.EarliestREF(id, t); t < e {
+		return fmt.Errorf("timing: REF to %v at %v violates constraints (earliest %v)", id, t, e)
+	}
+	r := &c.ranks[id.Flat(c.p)]
+	r.refReady = t + c.p.TRFC
+	for ba := 0; ba < c.p.BanksPerRank; ba++ {
+		b := c.bank(dram.BankID{Channel: id.Channel, Rank: id.Rank, Bank: ba})
+		b.busyUntil = t + c.p.TRFC
+		b.nextACT = clock.Max(b.nextACT, t+c.p.TRFC)
+	}
+	return nil
+}
+
+// ARRDuration returns the bank occupancy of one adjacent-row-refresh: up to
+// two internal ACT/PRE pairs plus the final precharge (2·tRC + tRP, §5.2).
+func (c *Checker) ARRDuration() clock.Time {
+	return 2*c.p.TRC + c.p.TRP
+}
+
+// EarliestARR returns the earliest time ≥ now an ARR may begin on the bank:
+// the bank precharged, past any REF/ARR occupancy, and far enough from the
+// previous ACT that the device-internal activations respect tRC.
+func (c *Checker) EarliestARR(id dram.BankID, now clock.Time) clock.Time {
+	b := c.bank(id)
+	t := clock.Max(now, b.busyUntil)
+	return clock.Max(t, b.nextACT)
+}
+
+// RecordARR registers an ARR beginning at time t on the bank: the bank is
+// occupied for ARRDuration and — conservatively, to preserve tFAW under the
+// device-internal activations — ACTs to the whole rank are blocked (nacked)
+// for the same window.
+func (c *Checker) RecordARR(id dram.BankID, t clock.Time) error {
+	b, r := c.bank(id), c.rank(id)
+	if b.rowOpen {
+		return fmt.Errorf("timing: ARR to %v at %v with row open", id, t)
+	}
+	if e := c.EarliestARR(id, t); t < e {
+		return fmt.Errorf("timing: ARR to %v at %v violates constraints (earliest %v)", id, t, e)
+	}
+	end := t + c.ARRDuration()
+	b.busyUntil = clock.Max(b.busyUntil, end)
+	b.nextACT = clock.Max(b.nextACT, end)
+	r.blockedUntil = clock.Max(r.blockedUntil, end)
+	return nil
+}
+
+// RankBlockedUntil reports the end of the rank's current ARR nack window
+// (zero if none); the controller uses it to count nacked command attempts.
+func (c *Checker) RankBlockedUntil(id dram.RankID) clock.Time {
+	return c.ranks[id.Flat(c.p)].blockedUntil
+}
+
+// BankBusyUntil reports the end of the bank's REF/ARR occupancy.
+func (c *Checker) BankBusyUntil(id dram.BankID) clock.Time {
+	return c.bank(id).busyUntil
+}

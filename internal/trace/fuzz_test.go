@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// FuzzReader feeds arbitrary bytes to the trace decoder: it must either
+// decode cleanly or return an error — never panic or loop.
+func FuzzReader(f *testing.F) {
+	// Seed with a valid stream and a few mutations.
+	var valid bytes.Buffer
+	w, err := NewWriter(&valid)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if err := w.Write(workload.Access{Addr: uint64(i) * 64, Gap: i, Write: i%2 == 0}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte(magic))
+	f.Add([]byte("TWTR\x02garbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 10000; i++ { // decode is bounded by input length anyway
+			if _, err := r.Read(); err != nil {
+				if !errors.Is(err, io.EOF) && err == nil {
+					t.Fatal("nil error with failure")
+				}
+				return
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip checks write-then-read identity over arbitrary access
+// parameters.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(0), 0, false)
+	f.Add(uint64(1<<40), 1000000, true)
+	f.Fuzz(func(t *testing.T, addr uint64, gap int, write bool) {
+		if gap < 0 {
+			gap = -gap
+		}
+		in := workload.Access{Addr: addr, Gap: gap, Write: write}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(in); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := r.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != in {
+			t.Fatalf("round trip: %+v != %+v", out, in)
+		}
+	})
+}

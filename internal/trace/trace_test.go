@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	accesses := []workload.Access{
+		{Addr: 0x1000, Gap: 5},
+		{Addr: 0x1040, Gap: 1, Write: true},
+		{Addr: 0x80000000, Gap: 1000},
+		{Addr: 0x40, Gap: 1}, // backwards delta
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range accesses {
+		if err := w.Write(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != int64(len(accesses)) {
+		t.Errorf("count = %d", w.Count())
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range accesses {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("access %d: %v", i, err)
+		}
+		if got != want {
+			t.Errorf("access %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Read(); !errors.Is(err, io.EOF) {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(addrs []uint32, seed int64) bool {
+		if len(addrs) == 0 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		in := make([]workload.Access, len(addrs))
+		for i, a := range addrs {
+			in[i] = workload.Access{Addr: uint64(a), Gap: 1 + rng.Intn(1000), Write: rng.Intn(2) == 0}
+		}
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		for _, a := range in {
+			if w.Write(a) != nil {
+				return false
+			}
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		for _, want := range in {
+			got, err := r.Read()
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("GARBAGE!"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestStreamCompression(t *testing.T) {
+	// Sequential streams should cost ~3 bytes per access.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for i := 0; i < 1000; i++ {
+		_ = w.Write(workload.Access{Addr: uint64(i) * 64, Gap: 1})
+	}
+	_ = w.Flush()
+	if per := float64(buf.Len()) / 1000; per > 4.5 {
+		t.Errorf("%.1f bytes per sequential access, want ≤ 4.5", per)
+	}
+}
+
+type seqGen struct{ n uint64 }
+
+func (g *seqGen) Name() string { return "seq" }
+func (g *seqGen) Next() workload.Access {
+	g.n += 64
+	return workload.Access{Addr: g.n, Gap: 2}
+}
+
+func TestRecordAndReplay(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Record(&buf, &seqGen{}, 100); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReplayer("replay", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 100 {
+		t.Fatalf("replayer has %d accesses", r.Len())
+	}
+	if r.Name() != "replay" {
+		t.Errorf("name = %q", r.Name())
+	}
+	first := r.Next()
+	if first.Addr != 64 || first.Gap != 2 {
+		t.Errorf("first = %+v", first)
+	}
+	for i := 0; i < 99; i++ {
+		r.Next()
+	}
+	// Loops back to the beginning.
+	if again := r.Next(); again != first {
+		t.Errorf("loop restart = %+v, want %+v", again, first)
+	}
+}
+
+func TestEmptyReplayRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	_ = w.Flush()
+	if _, err := NewReplayer("x", bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("empty trace accepted")
+	}
+}

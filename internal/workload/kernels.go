@@ -1,0 +1,232 @@
+package workload
+
+import (
+	"math/rand"
+)
+
+// micaGen models the MICA in-memory key-value store: zipf-distributed bucket
+// lookups into a large hash table followed by a short sequential value read,
+// with a GET/PUT mix.
+type micaGen struct {
+	base      uint64
+	tableSize uint64
+	valueLeft int
+	valueAddr uint64
+	write     bool
+	zipf      *rand.Zipf
+	gaps      gapSampler
+	rng       *rand.Rand
+}
+
+// NewMICA builds one MICA worker thread over a shared table at [base,
+// base+size).
+func NewMICA(base, size uint64, seed int64) Generator {
+	rng := rand.New(rand.NewSource(seed))
+	buckets := size / 64
+	if buckets < 2 {
+		buckets = 2
+	}
+	return &micaGen{
+		base:      base,
+		tableSize: size,
+		zipf:      rand.NewZipf(rng, 1.01, 1, buckets-1),
+		gaps:      gapSampler{mean: 55, rng: rng}, // ~18 MAPKI: key-value stores are memory-bound
+		rng:       rng,
+	}
+}
+
+func (g *micaGen) Name() string { return "mica" }
+
+func (g *micaGen) Next() Access {
+	if g.valueLeft > 0 {
+		g.valueLeft--
+		g.valueAddr += 64
+		return Access{Addr: g.valueAddr, Write: g.write, Gap: g.gaps.next()}
+	}
+	bucket := g.zipf.Uint64()
+	g.valueAddr = g.base + bucket*64
+	g.valueLeft = g.rng.Intn(3) // value spans 1-3 extra lines
+	g.write = g.rng.Float64() < 0.10
+	return Access{Addr: g.valueAddr, Write: false, Gap: g.gaps.next()}
+}
+
+// pagerankGen models one PageRank worker: a sequential sweep over the edge
+// array interleaved with random reads of source ranks and scattered
+// accumulator updates — the classic streaming + irregular graph mix.
+type pagerankGen struct {
+	edgeBase, edgeSize uint64
+	rankBase, rankSize uint64
+	cursor             uint64
+	phase              int
+	dst                uint64
+	gaps               gapSampler
+	rng                *rand.Rand
+}
+
+// NewPageRank builds one worker over an edge slice and a shared rank array.
+func NewPageRank(edgeBase, edgeSize, rankBase, rankSize uint64, seed int64) Generator {
+	rng := rand.New(rand.NewSource(seed))
+	return &pagerankGen{
+		edgeBase: edgeBase, edgeSize: edgeSize,
+		rankBase: rankBase, rankSize: rankSize,
+		gaps: gapSampler{mean: 45, rng: rng},
+		rng:  rng,
+	}
+}
+
+func (g *pagerankGen) Name() string { return "pagerank" }
+
+func (g *pagerankGen) Next() Access {
+	defer func() { g.phase = (g.phase + 1) % 3 }()
+	switch g.phase {
+	case 0: // stream the edge list
+		g.cursor = (g.cursor + 64) % g.edgeSize
+		return Access{Addr: g.edgeBase + g.cursor, Gap: g.gaps.next()}
+	case 1: // random source-rank read
+		g.dst = uint64(g.rng.Int63n(int64(g.rankSize))) &^ 63
+		return Access{Addr: g.rankBase + g.dst, Gap: g.gaps.next()}
+	default: // accumulator update near the destination
+		return Access{Addr: g.rankBase + g.dst, Write: true, Gap: g.gaps.next()}
+	}
+}
+
+// fftGen models the SPLASH-2X FFT kernel: in-place butterfly passes over a
+// working array with a stride that doubles each stage. Each butterfly reads
+// both points and writes both results back (R, R, W, W), which is both
+// faithful to the kernel and keeps the access stream half writes.
+type fftGen struct {
+	base   uint64
+	size   uint64
+	stride uint64
+	index  uint64
+	phase  int // 0: read i, 1: read i+stride, 2: write i, 3: write i+stride
+	gaps   gapSampler
+}
+
+// NewFFT builds one worker over the array slice [base, base+size). The
+// working array is capped at 256 MiB (a large but realistic FFT footprint);
+// larger slices only add never-revisited cold memory.
+func NewFFT(base, size uint64, seed int64) Generator {
+	rng := rand.New(rand.NewSource(seed))
+	if size > 256<<20 {
+		size = 256 << 20
+	}
+	return &fftGen{
+		base:   base,
+		size:   size &^ 63,
+		stride: 64,
+		gaps:   gapSampler{mean: 70, rng: rng},
+	}
+}
+
+func (g *fftGen) Name() string { return "fft" }
+
+func (g *fftGen) Next() Access {
+	addr := g.base + g.index
+	if g.phase == 1 || g.phase == 3 {
+		addr = g.base + (g.index+g.stride)%g.size
+	}
+	a := Access{Addr: addr, Write: g.phase >= 2, Gap: g.gaps.next()}
+	g.phase++
+	if g.phase == 4 {
+		// Completed a butterfly: advance; stride doubles each full pass.
+		g.phase = 0
+		g.index += 64
+		if g.index >= g.size {
+			g.index = 0
+			g.stride *= 2
+			if g.stride >= g.size {
+				g.stride = 64
+			}
+		}
+	}
+	return a
+}
+
+// radixGen models the SPLASH-2X RADIX sort: a streaming read of the source
+// keys and a scattered write into one of 256 bucket output streams.
+type radixGen struct {
+	srcBase, srcSize uint64
+	dstBase          uint64
+	bucketSize       uint64
+	cursor           uint64
+	buckets          [256]uint64
+	readTurn         bool
+	gaps             gapSampler
+	rng              *rand.Rand
+}
+
+// NewRadix builds one worker reading keys from [srcBase, srcBase+srcSize)
+// and scattering into 256 buckets inside [dstBase, dstBase+dstSize).
+func NewRadix(srcBase, srcSize, dstBase, dstSize uint64, seed int64) Generator {
+	rng := rand.New(rand.NewSource(seed))
+	return &radixGen{
+		srcBase: srcBase, srcSize: srcSize,
+		dstBase:    dstBase,
+		bucketSize: dstSize / 256 &^ 63,
+		readTurn:   true,
+		gaps:       gapSampler{mean: 60, rng: rng},
+		rng:        rng,
+	}
+}
+
+func (g *radixGen) Name() string { return "radix" }
+
+func (g *radixGen) Next() Access {
+	if g.readTurn {
+		g.readTurn = false
+		g.cursor = (g.cursor + 64) % g.srcSize
+		return Access{Addr: g.srcBase + g.cursor, Gap: g.gaps.next()}
+	}
+	g.readTurn = true
+	b := g.rng.Intn(256)
+	addr := g.dstBase + uint64(b)*g.bucketSize + g.buckets[b]
+	g.buckets[b] = (g.buckets[b] + 64) % g.bucketSize
+	return Access{Addr: addr, Write: true, Gap: g.gaps.next()}
+}
+
+// MICA builds the multi-threaded MICA workload over the given memory size.
+func MICA(cores int, memBytes uint64, seed int64) Workload {
+	w := Workload{Name: "mica", Gens: make([]Generator, cores)}
+	table := memBytes / 2
+	for i := range w.Gens {
+		w.Gens[i] = NewMICA(0, table, seed+int64(i)*31)
+	}
+	return w
+}
+
+// PageRank builds the multi-threaded PageRank workload: per-thread edge
+// slices over a shared rank array.
+func PageRank(cores int, memBytes uint64, seed int64) Workload {
+	w := Workload{Name: "pagerank", Gens: make([]Generator, cores)}
+	edges := memBytes * 3 / 4
+	ranks := memBytes - edges
+	slice := edges / uint64(cores) &^ 63
+	for i := range w.Gens {
+		w.Gens[i] = NewPageRank(uint64(i)*slice, slice, edges, ranks, seed+int64(i)*37)
+	}
+	return w
+}
+
+// FFT builds the multi-threaded FFT workload: per-thread array slices.
+func FFT(cores int, memBytes uint64, seed int64) Workload {
+	w := Workload{Name: "fft", Gens: make([]Generator, cores)}
+	slice := memBytes / uint64(cores) &^ 63
+	for i := range w.Gens {
+		w.Gens[i] = NewFFT(uint64(i)*slice, slice, seed+int64(i)*41)
+	}
+	return w
+}
+
+// Radix builds the multi-threaded RADIX workload: per-thread key slices
+// scattering into per-thread bucket regions.
+func Radix(cores int, memBytes uint64, seed int64) Workload {
+	w := Workload{Name: "radix", Gens: make([]Generator, cores)}
+	half := memBytes / 2
+	srcSlice := half / uint64(cores) &^ 63
+	dstSlice := half / uint64(cores) &^ 63
+	for i := range w.Gens {
+		w.Gens[i] = NewRadix(uint64(i)*srcSlice, srcSlice, half+uint64(i)*dstSlice, dstSlice, seed+int64(i)*43)
+	}
+	return w
+}

@@ -1,0 +1,361 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/mc"
+)
+
+func testMap(t *testing.T) (*mc.AddrMap, dram.Params) {
+	t.Helper()
+	p := dram.DDR4_2400()
+	m, err := mc.NewAddrMap(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, p
+}
+
+func TestProfilesComplete(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 29 {
+		t.Fatalf("have %d SPEC profiles, want 29", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if seen[p.Name] {
+			t.Errorf("duplicate profile %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.MAPKI <= 0 || p.FootprintMB <= 0 {
+			t.Errorf("%s: non-positive intensity/footprint", p.Name)
+		}
+		if p.StreamFrac < 0 || p.StreamFrac > 1 || p.WriteFrac < 0 || p.WriteFrac > 1 {
+			t.Errorf("%s: fractions out of range", p.Name)
+		}
+	}
+	for _, h := range SpecHighNames() {
+		if !seen[h] {
+			t.Errorf("spec-high app %q has no profile", h)
+		}
+	}
+}
+
+func TestSpecHighAreMemoryIntensive(t *testing.T) {
+	high := map[string]bool{}
+	for _, h := range SpecHighNames() {
+		high[h] = true
+	}
+	var minHigh, maxLow float64
+	minHigh = 1e9
+	for _, p := range Profiles() {
+		if high[p.Name] {
+			if p.MAPKI < minHigh {
+				minHigh = p.MAPKI
+			}
+		} else if p.MAPKI > maxLow {
+			maxLow = p.MAPKI
+		}
+	}
+	// bwaves is a near-miss in real characterisations too; allow overlap
+	// but the classes must be broadly separated.
+	if minHigh < 15 {
+		t.Errorf("least-intensive spec-high app has MAPKI %v, want ≥ 15", minHigh)
+	}
+}
+
+func TestProfileByNameErrors(t *testing.T) {
+	if _, err := ProfileByName("mcf"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ProfileByName("nosuch"); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestSPECLikeStaysInFootprint(t *testing.T) {
+	prof, _ := ProfileByName("mcf")
+	base, size := uint64(1<<30), uint64(1<<30)
+	g := NewSPECLike(prof, base, size, 1)
+	for i := 0; i < 100000; i++ {
+		a := g.Next()
+		if a.Addr < base || a.Addr >= base+size {
+			t.Fatalf("access %#x outside [%#x, %#x)", a.Addr, base, base+size)
+		}
+		if a.Gap < 1 {
+			t.Fatalf("gap %d < 1", a.Gap)
+		}
+	}
+}
+
+func TestSPECLikeIntensityTracksMAPKI(t *testing.T) {
+	hot, _ := ProfileByName("lbm")     // 30.5 MAPKI
+	cold, _ := ProfileByName("povray") // 0.8 MAPKI
+	gh := NewSPECLike(hot, 0, 1<<30, 1)
+	gc := NewSPECLike(cold, 0, 1<<30, 1)
+	sum := func(g Generator) (gaps int64) {
+		for i := 0; i < 50000; i++ {
+			gaps += int64(g.Next().Gap)
+		}
+		return
+	}
+	ratio := float64(sum(gc)) / float64(sum(gh))
+	// povray's mean gap should be roughly 30.5/0.8 ≈ 38× larger.
+	if ratio < 15 || ratio > 80 {
+		t.Errorf("gap ratio = %v, want ≈ 38", ratio)
+	}
+}
+
+func TestSPECLikeWriteFraction(t *testing.T) {
+	prof, _ := ProfileByName("lbm") // 40% writes
+	g := NewSPECLike(prof, 0, 1<<30, 2)
+	writes := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if g.Next().Write {
+			writes++
+		}
+	}
+	frac := float64(writes) / n
+	if frac < 0.35 || frac > 0.45 {
+		t.Errorf("write fraction = %v, want ≈ 0.40", frac)
+	}
+}
+
+func TestSPECRateWorkload(t *testing.T) {
+	w, err := SPECRate("mcf", 16, 64<<30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Cores() != 16 || w.BypassCache {
+		t.Errorf("workload shape wrong: %d cores bypass=%v", w.Cores(), w.BypassCache)
+	}
+	// Per-core footprints must not overlap.
+	a0 := w.Gens[0].Next().Addr
+	a1 := w.Gens[1].Next().Addr
+	slice := uint64(64<<30) / 16
+	if a0/slice == a1/slice {
+		t.Errorf("cores 0 and 1 share a partition: %#x %#x", a0, a1)
+	}
+	if _, err := SPECRate("nosuch", 4, 1<<30, 1); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestMixWorkloads(t *testing.T) {
+	wh, err := MixHigh(16, 64<<30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wh.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, g := range wh.Gens {
+		names[g.Name()] = true
+	}
+	for _, h := range SpecHighNames() {
+		if !names[h] {
+			t.Errorf("mix-high missing %s", h)
+		}
+	}
+	wb := MixBlend(16, 64<<30, 7)
+	if err := wb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelWorkloadsValid(t *testing.T) {
+	for _, w := range []Workload{
+		MICA(16, 64<<30, 1),
+		PageRank(16, 64<<30, 1),
+		FFT(16, 64<<30, 1),
+		Radix(16, 64<<30, 1),
+	} {
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+		for i := 0; i < 10000; i++ {
+			a := w.Gens[0].Next()
+			if a.Addr >= 64<<30 {
+				t.Errorf("%s: access %#x beyond memory", w.Name, a.Addr)
+				break
+			}
+		}
+	}
+}
+
+func TestMICAZipfSkew(t *testing.T) {
+	g := NewMICA(0, 1<<30, 3)
+	counts := map[uint64]int{}
+	for i := 0; i < 100000; i++ {
+		counts[g.Next().Addr>>6]++
+	}
+	var max int
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// Zipf-skewed: the hottest bucket is far above uniform expectation.
+	if max < 100 {
+		t.Errorf("hottest line touched %d times; zipf skew missing", max)
+	}
+}
+
+func TestFFTStrideProgression(t *testing.T) {
+	g := NewFFT(0, 1<<20, 1)
+	// The second access of each butterfly is index+stride; observe that
+	// pair distances change over the run (stride doubling across stages).
+	dists := map[uint64]bool{}
+	var first uint64
+	for i := 0; i < 1<<19; i++ {
+		a := g.Next()
+		if i%2 == 0 {
+			first = a.Addr
+		} else if a.Addr > first {
+			dists[a.Addr-first] = true
+		}
+	}
+	if len(dists) < 3 {
+		t.Errorf("observed %d distinct butterfly strides, want several", len(dists))
+	}
+}
+
+func TestRadixScattersAcrossBuckets(t *testing.T) {
+	g := NewRadix(0, 1<<20, 1<<20, 1<<20, 1)
+	buckets := map[uint64]bool{}
+	for i := 0; i < 10000; i++ {
+		a := g.Next()
+		if a.Write {
+			buckets[(a.Addr-(1<<20))/((1<<20)/256)] = true
+		}
+	}
+	if len(buckets) < 200 {
+		t.Errorf("writes hit %d buckets, want ≈ 256", len(buckets))
+	}
+}
+
+func TestS1UniformAcrossBanks(t *testing.T) {
+	m, p := testMap(t)
+	w := S1(m, p, 1)
+	if !w.BypassCache {
+		t.Error("S1 must bypass caches")
+	}
+	banks := map[dram.BankID]int{}
+	for i := 0; i < 50000; i++ {
+		banks[m.Decompose(w.Gens[0].Next().Addr).BankID()]++
+	}
+	if len(banks) != p.TotalBanks() {
+		t.Errorf("S1 touched %d banks, want %d", len(banks), p.TotalBanks())
+	}
+}
+
+func TestS2CyclesBetweenPhases(t *testing.T) {
+	m, p := testMap(t)
+	w := S2(m, p, 32768)
+	g := w.Gens[0]
+	half := p.RowsPerBank / 2
+	// The cycle is one refresh window's activation budget; phase A is the
+	// first three quarters.
+	cycle := p.MaxACTsPerRefreshInterval() * p.RefreshTicksPerWindow()
+	phaseA := cycle * 3 / 4
+	for c := 0; c < 2; c++ {
+		firstHalf := map[int]bool{}
+		for i := 0; i < phaseA; i++ {
+			row := m.Decompose(g.Next().Addr).Row
+			if row >= half {
+				t.Fatalf("cycle %d access %d in second half during phase A (row %d)", c, i, row)
+			}
+			firstHalf[row] = true
+		}
+		if len(firstHalf) < 1000 {
+			t.Fatalf("phase A swept only %d distinct rows; expected a broad sweep", len(firstHalf))
+		}
+		for i := 0; i < cycle-phaseA; i++ {
+			if row := m.Decompose(g.Next().Addr).Row; row < half {
+				t.Fatalf("cycle %d access %d in first half during phase B (row %d)", c, i, row)
+			}
+		}
+	}
+}
+
+func TestS2RowsStayBelowPerRowThresholds(t *testing.T) {
+	// The sweep spreads activations so no single row approaches a per-row
+	// detection threshold within one window — the attack is invisible to
+	// row-granular defenses like TWiCe.
+	m, p := testMap(t)
+	w := S2(m, p, 32768)
+	g := w.Gens[0]
+	cycle := p.MaxACTsPerRefreshInterval() * p.RefreshTicksPerWindow()
+	counts := map[int]int{}
+	for i := 0; i < cycle; i++ {
+		counts[m.Decompose(g.Next().Addr).Row]++
+	}
+	for row, c := range counts {
+		if c > 64 {
+			t.Errorf("row %d received %d ACTs in one window; sweep should spread load", row, c)
+		}
+	}
+}
+
+func TestS3SingleRow(t *testing.T) {
+	m, p := testMap(t)
+	w := S3(m, p, 1234)
+	cols := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		a := m.Decompose(w.Gens[0].Next().Addr)
+		if a.Row != 1234 || a.Bank != 0 || a.Channel != 0 {
+			t.Fatalf("S3 strayed to %v", a)
+		}
+		cols[a.Col] = true
+	}
+	if len(cols) < p.ColumnsPerRow {
+		t.Errorf("S3 cycled %d columns, want %d (cache defeat)", len(cols), p.ColumnsPerRow)
+	}
+}
+
+func TestDoubleSidedAlternates(t *testing.T) {
+	m, _ := testMap(t)
+	w := DoubleSided(m, 500)
+	g := w.Gens[0]
+	r1 := m.Decompose(g.Next().Addr).Row
+	r2 := m.Decompose(g.Next().Addr).Row
+	if !(r1 == 499 && r2 == 501) && !(r1 == 501 && r2 == 499) {
+		t.Errorf("double-sided rows = %d,%d, want 499/501", r1, r2)
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	if err := (Workload{}).Validate(); err == nil {
+		t.Error("empty workload accepted")
+	}
+	if err := (Workload{Name: "x"}).Validate(); err == nil {
+		t.Error("generator-less workload accepted")
+	}
+	if err := (Workload{Name: "x", Gens: []Generator{nil}}).Validate(); err == nil {
+		t.Error("nil generator accepted")
+	}
+}
+
+func TestGapSamplerMean(t *testing.T) {
+	g := gapSampler{mean: 50, rng: rand.New(rand.NewSource(1))}
+	var sum int64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += int64(g.next())
+	}
+	mean := float64(sum) / n
+	if mean < 40 || mean > 60 {
+		t.Errorf("sampled mean = %v, want ≈ 50", mean)
+	}
+	one := gapSampler{mean: 0.5, rng: rand.New(rand.NewSource(1))}
+	if one.next() != 1 {
+		t.Error("sub-unit mean must clamp to 1")
+	}
+}

@@ -1,0 +1,142 @@
+package twice
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/mc"
+)
+
+// scaled returns a fast machine for facade tests (1 ms refresh window).
+func scaled() Config {
+	cfg := DefaultConfig(1)
+	cfg.DRAM.TREFW = clock.Millisecond
+	cfg.DRAM.NTh = 2048
+	cfg.MC = mc.NewConfig(cfg.DRAM)
+	return cfg
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	cfg := scaled()
+	tcfg := NewTWiCeConfig(cfg.DRAM)
+	tcfg.ThRH = 512
+	def, err := NewTWiCeWith(tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg, def, WorkloadS3(cfg, 5000), Requests(100000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Detections == 0 {
+		t.Error("hammer not detected through the public API")
+	}
+	if len(res.Flips) != 0 {
+		t.Error("flips under TWiCe")
+	}
+}
+
+func TestDefenseConstructors(t *testing.T) {
+	p := DDR4()
+	if _, err := NewTWiCe(p); err != nil {
+		t.Error(err)
+	}
+	if _, err := NewPARA(0.001, p, 1); err != nil {
+		t.Error(err)
+	}
+	if _, err := NewCBT(p); err != nil {
+		t.Error(err)
+	}
+	if _, err := NewCRA(p); err != nil {
+		t.Error(err)
+	}
+	if _, err := NewPRoHIT(p, 1); err != nil {
+		t.Error(err)
+	}
+	if NoDefense().Name() != "none" {
+		t.Error("NoDefense misnamed")
+	}
+}
+
+func TestWorkloadConstructors(t *testing.T) {
+	cfg := DefaultConfig(4)
+	for _, w := range []Workload{
+		WorkloadS1(cfg, 1),
+		WorkloadS2(cfg, 1000),
+		WorkloadS3(cfg, 42),
+		WorkloadDoubleSided(cfg, 42),
+		WorkloadMICA(4, cfg, 1),
+	} {
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+	}
+	if _, err := WorkloadSPECRate("mcf", 4, cfg, 1); err != nil {
+		t.Error(err)
+	}
+	if _, err := WorkloadMixHigh(4, cfg, 1); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeriveThroughFacade(t *testing.T) {
+	d := Derive(NewTWiCeConfig(DDR4()))
+	if d.ThPI != 4 || d.MaxACT != 165 {
+		t.Errorf("derived = %+v", d)
+	}
+	if Table3Energy().DRAMActPre.NanoJ != 11.49 {
+		t.Error("Table 3 constants wrong through facade")
+	}
+	if a := AreaModel(NewTWiCeConfig(DDR4())); a.Entries != 556 {
+		t.Errorf("area entries = %d", a.Entries)
+	}
+}
+
+func TestTraceRoundTripThroughFacade(t *testing.T) {
+	cfg := scaled()
+	var buf bytes.Buffer
+	if err := RecordTrace(&buf, WorkloadS3(cfg, 123), 5000); err != nil {
+		t.Fatal(err)
+	}
+	w, err := WorkloadFromTrace("replayed-attack", bytes.NewReader(buf.Bytes()), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.BypassCache || w.Cores() != 1 {
+		t.Fatalf("workload shape: %+v", w)
+	}
+	tcfg := NewTWiCeConfig(cfg.DRAM)
+	tcfg.ThRH = 512
+	def, err := NewTWiCeWith(tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg, def, w, Requests(30000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.NormalACTs == 0 {
+		t.Error("replayed trace produced no activations")
+	}
+	if len(res.Flips) != 0 {
+		t.Error("flips under TWiCe on the replayed attack")
+	}
+}
+
+func TestWorkloadFromTraceRejectsGarbage(t *testing.T) {
+	if _, err := WorkloadFromTrace("x", bytes.NewReader([]byte("junk")), false); err == nil {
+		t.Error("garbage trace accepted")
+	}
+}
+
+func TestManySidedThroughFacade(t *testing.T) {
+	cfg := scaled()
+	w := WorkloadManySided(cfg, 1000, 8)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewTRR(cfg.DRAM); err != nil {
+		t.Fatal(err)
+	}
+}
