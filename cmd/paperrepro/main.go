@@ -123,8 +123,12 @@ func writeCSV(dir, name string, cells []experiments.Cell) {
 	if err != nil {
 		fail(err)
 	}
-	defer f.Close()
 	if err := experiments.WriteCellsCSV(f, cells); err != nil {
+		_ = f.Close()
+		fail(err)
+	}
+	// Close errors on a written file matter: they can hide lost rows.
+	if err := f.Close(); err != nil {
 		fail(err)
 	}
 	fmt.Printf("(wrote %s/%s)\n", dir, name)

@@ -54,12 +54,17 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	defer f.Close()
 	if err := trace.Record(f, gen, *n); err != nil {
+		_ = f.Close()
 		fail(err)
 	}
 	info, err := f.Stat()
 	if err != nil {
+		_ = f.Close()
+		fail(err)
+	}
+	// Close errors on a written trace matter: they can hide lost records.
+	if err := f.Close(); err != nil {
 		fail(err)
 	}
 	fmt.Printf("recorded %d accesses of %s to %s (%d bytes, %.2f B/access)\n",
@@ -96,7 +101,7 @@ func summarise(path string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only: close errors carry no data loss
 	r, err := trace.NewReader(f)
 	if err != nil {
 		return err

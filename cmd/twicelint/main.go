@@ -1,0 +1,44 @@
+// Command twicelint enforces the repository's determinism and hygiene
+// invariants (see internal/lint and the "Determinism invariants" section
+// of DESIGN.md). It exits 0 when the tree is clean, 1 when findings are
+// reported, and 2 on load/type-check failure, so it slots directly into
+// verify.sh next to go vet.
+//
+// Usage:
+//
+//	twicelint [packages]
+//
+// With no arguments it checks ./... relative to the working directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: twicelint [packages]\n\nChecks the packages (default ./...) against the TWiCe determinism rules:\n  maprange    map iteration where order can leak into sim behaviour\n  nondeterm   unseeded global randomness or wall-clock time under internal/\n  droppederr  discarded error results outside tests\n  truncconv   unguarded narrowing integer conversions under internal/\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := lint.Run(".", patterns, lint.DefaultConfig())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "twicelint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f.String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "twicelint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -76,7 +76,7 @@ func main() {
 			fail(err)
 		}
 		rep, err := trace.NewReplayer(*replay, f)
-		f.Close()
+		_ = f.Close() // read-only: close errors carry no data loss
 		if err != nil {
 			fail(err)
 		}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 )
 
 // stateMagic identifies TWiCe checkpoint streams.
@@ -82,6 +83,19 @@ func (t *TWiCe) ReadState(r io.Reader) error {
 		}
 		return v, nil
 	}
+	// readInt decodes a field that must fit the table's int-typed state; a
+	// corrupt or hostile checkpoint cannot smuggle in a negative row or
+	// count through unchecked narrowing.
+	readInt := func(what string) (int, error) {
+		v, err := readU(what)
+		if err != nil {
+			return 0, err
+		}
+		if v > math.MaxInt32 {
+			return 0, fmt.Errorf("core: %s %d out of range in checkpoint", what, v)
+		}
+		return int(v), nil //twicelint:checked bounded to MaxInt32 above
+	}
 	thRH, err := readU("thRH")
 	if err != nil {
 		return err
@@ -94,9 +108,11 @@ func (t *TWiCe) ReadState(r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	if int(thRH) != t.cfg.ThRH || Org(org) != t.cfg.Org || int(banks) != len(t.tables) {
-		return fmt.Errorf("core: checkpoint mismatch: thRH=%d org=%v banks=%d vs engine thRH=%d org=%v banks=%d",
-			thRH, Org(org), banks, t.cfg.ThRH, t.cfg.Org, len(t.tables))
+	// Compare in the uint64 domain: the engine-side values are known-good
+	// non-negative ints, so widening them never loses information.
+	if thRH != uint64(t.cfg.ThRH) || org != uint64(t.cfg.Org) || banks != uint64(len(t.tables)) {
+		return fmt.Errorf("core: checkpoint mismatch: thRH=%d org=%d banks=%d vs engine thRH=%d org=%v banks=%d",
+			thRH, org, banks, t.cfg.ThRH, t.cfg.Org, len(t.tables))
 	}
 	t.Reset()
 	for i := range t.tables {
@@ -105,32 +121,35 @@ func (t *TWiCe) ReadState(r io.Reader) error {
 			return err
 		}
 		for j := uint64(0); j < n; j++ {
-			row, err := readU("row")
+			row, err := readInt("row")
 			if err != nil {
 				return err
 			}
-			cnt, err := readU("act_cnt")
+			cnt, err := readInt("act_cnt")
 			if err != nil {
 				return err
 			}
-			life, err := readU("life")
+			life, err := readInt("life")
 			if err != nil {
 				return err
 			}
-			if err := t.tables[i].Restore(Entry{Row: int(row), ActCnt: int(cnt), Life: int(life)}); err != nil {
+			if err := t.tables[i].Restore(Entry{Row: row, ActCnt: cnt, Life: life}); err != nil {
 				return fmt.Errorf("core: restoring bank %d: %w", i, err)
 			}
 		}
-		pend, err := readU("pending ticks")
+		pend, err := readInt("pending ticks")
 		if err != nil {
 			return err
 		}
-		t.pending[i] = int(pend)
+		t.pending[i] = pend
 	}
 	det, err := readU("detections")
 	if err != nil {
 		return err
 	}
-	t.detections = int64(det)
+	if det > math.MaxInt64 {
+		return fmt.Errorf("core: detection count %d out of range in checkpoint", det)
+	}
+	t.detections = int64(det) //twicelint:checked bounded to MaxInt64 above
 	return nil
 }

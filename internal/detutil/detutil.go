@@ -1,0 +1,44 @@
+// Package detutil provides deterministic-iteration helpers. Go randomizes
+// map iteration order on purpose; simulation code must never let that
+// randomness reach scheduling decisions or output, because the paper's
+// thRH/table-bound claims are only checkable on bit-for-bit reproducible
+// runs. Every `for … range m` over a map in sim-critical packages either
+// proves itself order-insensitive to twicelint or iterates SortedKeys(m).
+//
+// This is the one package the twicelint maprange rule excludes: the raw
+// iteration lives here, once, behind a sorting barrier.
+package detutil
+
+import (
+	"cmp"
+	"slices"
+)
+
+// SortedKeys returns the keys of m in ascending order. It is the blessed
+// way to iterate a map deterministically:
+//
+//	for _, k := range detutil.SortedKeys(m) {
+//		v := m[k]
+//		...
+//	}
+func SortedKeys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// SortedKeysFunc returns the keys of m ordered by the given comparison
+// function (for key types that are not cmp.Ordered, e.g. small structs).
+// The comparison must induce a total order for the result to be
+// deterministic.
+func SortedKeysFunc[M ~map[K]V, K comparable, V any](m M, compare func(a, b K) int) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.SortFunc(keys, compare)
+	return keys
+}

@@ -1,0 +1,38 @@
+package detutil
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSortedKeys(t *testing.T) {
+	m := map[int]string{5: "e", 1: "a", 3: "c", 2: "b", 4: "d"}
+	want := []int{1, 2, 3, 4, 5}
+	for i := 0; i < 50; i++ { // many runs: map seed changes, order must not
+		if got := SortedKeys(m); !reflect.DeepEqual(got, want) {
+			t.Fatalf("SortedKeys = %v, want %v", got, want)
+		}
+	}
+	if got := SortedKeys(map[string]int{}); len(got) != 0 {
+		t.Fatalf("SortedKeys(empty) = %v, want empty", got)
+	}
+}
+
+func TestSortedKeysFunc(t *testing.T) {
+	type key struct{ rank, bank int }
+	m := map[key]int{
+		{1, 0}: 1, {0, 1}: 2, {0, 0}: 3, {1, 1}: 4,
+	}
+	cmpKey := func(a, b key) int {
+		if a.rank != b.rank {
+			return a.rank - b.rank
+		}
+		return a.bank - b.bank
+	}
+	want := []key{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	for i := 0; i < 50; i++ {
+		if got := SortedKeysFunc(m, cmpKey); !reflect.DeepEqual(got, want) {
+			t.Fatalf("SortedKeysFunc = %v, want %v", got, want)
+		}
+	}
+}

@@ -3,7 +3,8 @@ package dram
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+
+	"repro/internal/detutil"
 )
 
 // RemapTable records the row-sparing decisions made at device test time:
@@ -118,12 +119,7 @@ func (t *RemapTable) Logical(phys int) int {
 
 // Remapped returns the sorted list of remapped logical rows.
 func (t *RemapTable) Remapped() []int {
-	out := make([]int, 0, len(t.logicalToPhys))
-	for l := range t.logicalToPhys {
-		out = append(out, l)
-	}
-	sort.Ints(out)
-	return out
+	return detutil.SortedKeys(t.logicalToPhys)
 }
 
 // Count returns the number of remapped rows.

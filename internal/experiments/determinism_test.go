@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/mc"
+	"repro/internal/workload"
+)
+
+// TestCSVByteIdentity runs the measurement pipeline (workload → MC →
+// defense → stats → CSV) twice with identical seeds and configuration and
+// requires the emitted CSV — and the rendered text table — to be
+// byte-for-byte identical. This is the committed form of the reproducibility
+// criterion: same seed, same bytes.
+func TestCSVByteIdentity(t *testing.T) {
+	run := func() ([]byte, string) {
+		s := tinyScale()
+		cfg := s.machineConfig()
+		amap, err := mc.NewAddrMap(cfg.DRAM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cells []Cell
+		for _, dname := range []string{"none", "TWiCe", "PARA-0.002"} {
+			c, err := s.runCell("S3", workload.S3(amap, cfg.DRAM, 5000), dname)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cells = append(cells, c)
+		}
+		var buf bytes.Buffer
+		if err := WriteCellsCSV(&buf, cells); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), RenderCells("determinism", cells)
+	}
+	csvA, txtA := run()
+	csvB, txtB := run()
+	if !bytes.Equal(csvA, csvB) {
+		t.Errorf("CSV differs between identically-seeded runs:\n--- run 1\n%s--- run 2\n%s", csvA, csvB)
+	}
+	if txtA != txtB {
+		t.Errorf("rendered table differs between identically-seeded runs:\n--- run 1\n%s--- run 2\n%s", txtA, txtB)
+	}
+}
+
+// TestAverageRowsDeterministicOrder pins the defense ordering of the
+// Figure 7(a) average rows: the grouping is map-based, so output order must
+// come from sorted keys, never from map iteration.
+func TestAverageRowsDeterministicOrder(t *testing.T) {
+	cells := []Cell{
+		{Workload: "a", Defense: "TWiCe", Ratio: 0.2},
+		{Workload: "a", Defense: "PARA-0.002", Ratio: 0.4},
+		{Workload: "b", Defense: "TWiCe", Ratio: 0.4},
+		{Workload: "b", Defense: "CBT-256", Ratio: 0.1},
+	}
+	want := averageRows(cells)
+	for i := 0; i < 50; i++ { // many runs: map seed changes, order must not
+		if got := averageRows(cells); !reflect.DeepEqual(got, want) {
+			t.Fatalf("averageRows changed between runs:\n%v\n%v", got, want)
+		}
+	}
+	for i, n := range []string{"CBT-256", "PARA-0.002", "TWiCe"} {
+		if want[i].Defense != n {
+			t.Errorf("average row %d defense = %s, want %s", i, want[i].Defense, n)
+		}
+	}
+}

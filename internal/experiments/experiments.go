@@ -7,7 +7,6 @@ package experiments
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"repro/internal/analysis"
@@ -19,6 +18,7 @@ import (
 	"repro/internal/defense/graphene"
 	"repro/internal/defense/para"
 	"repro/internal/defense/prohit"
+	"repro/internal/detutil"
 	"repro/internal/dram"
 	"repro/internal/energy"
 	"repro/internal/mc"
@@ -266,13 +266,8 @@ func averageRows(cells []Cell) []Cell {
 	for _, c := range cells {
 		byDefense[c.Defense] = append(byDefense[c.Defense], c)
 	}
-	names := make([]string, 0, len(byDefense))
-	for n := range byDefense {
-		names = append(names, n)
-	}
-	sort.Strings(names)
 	var out []Cell
-	for _, n := range names {
+	for _, n := range detutil.SortedKeys(byDefense) {
 		var sum float64
 		for _, c := range byDefense[n] {
 			sum += c.Ratio

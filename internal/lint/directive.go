@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Directive names. A directive is a `//twicelint:<name>` comment placed on
+// the flagged line or on the line immediately above it.
+const (
+	// dirOrdered asserts that a map iteration's order is handled: either
+	// the keys are sorted before use or the consumer is order-agnostic in
+	// a way the conservative analysis cannot prove.
+	dirOrdered = "ordered"
+	// dirChecked asserts that a narrowing integer conversion is guarded
+	// by a bound the analysis cannot see.
+	dirChecked = "checked"
+)
+
+// directives maps source lines to the directive names in force there.
+type directives map[int]map[string]bool
+
+// has reports whether the directive applies at the line: written on the
+// line itself (trailing comment) or on the line immediately above.
+func (d directives) has(line int, name string) bool {
+	return d[line][name] || d[line-1][name]
+}
+
+const directivePrefix = "//twicelint:"
+
+// collectDirectives scans every comment in the file for twicelint
+// directives. Directive comments follow the Go convention for machine
+// directives: no space after //, so gofmt leaves them alone.
+func collectDirectives(fset *token.FileSet, f *ast.File) directives {
+	d := directives{}
+	for _, cg := range f.Comments {
+		for _, cmt := range cg.List {
+			text := cmt.Text
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			name := strings.TrimPrefix(text, directivePrefix)
+			// Allow a trailing rationale: //twicelint:ordered keys sorted above
+			if i := strings.IndexAny(name, " \t"); i >= 0 {
+				name = name[:i]
+			}
+			line := fset.Position(cmt.Pos()).Line
+			if d[line] == nil {
+				d[line] = map[string]bool{}
+			}
+			d[line][name] = true
+		}
+	}
+	return d
+}
+
+// exprString renders an expression for diagnostics.
+func exprString(e ast.Expr) string { return types.ExprString(e) }
+
+// constUint64 extracts a constant's value as a uint64 where exact.
+func constUint64(tv types.TypeAndValue) (uint64, bool) {
+	v := constant.ToInt(tv.Value)
+	if v.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Uint64Val(v)
+}

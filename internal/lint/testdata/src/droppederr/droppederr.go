@@ -1,0 +1,44 @@
+// Package fixture exercises the droppederr rule. The test analyzes it as
+// repro/cmd/fixture — outside internal/ — to confirm that droppederr
+// applies everywhere while nondeterm and truncconv stay scoped to
+// internal/ packages.
+package fixture
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func removeBad(path string) {
+	os.Remove(path) // want droppederr "call to os.Remove discards its error result"
+}
+
+func closeBad(f *os.File) {
+	defer f.Close() // want droppederr "deferred call to (*os.File).Close discards its error result"
+}
+
+func goBad(f *os.File) {
+	go f.Sync() // want droppederr "spawned call to (*os.File).Sync discards its error result"
+}
+
+func printGood(sb *strings.Builder) {
+	fmt.Println("ok")    // fmt.Print* to the std streams is exempt
+	sb.WriteString("ok") // strings.Builder writes never fail
+}
+
+func explicitGood(f *os.File) {
+	_ = f.Close() // an explicit blank assignment is a visible decision
+}
+
+func handledGood(f *os.File) error {
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func scopeGood(x uint64) int {
+	// Outside internal/, truncconv does not apply.
+	return int(x)
+}

@@ -1,0 +1,46 @@
+// Package fixture exercises the nondeterm rule: unseeded global
+// randomness and wall-clock reads are forbidden under internal/.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func jitterBad() int {
+	return rand.Intn(100) // want nondeterm "math/rand.Intn draws from the unseeded global source"
+}
+
+func floatBad() float64 {
+	return rand.Float64() // want nondeterm "math/rand.Float64 draws from the unseeded global source"
+}
+
+func seedBad() {
+	rand.Seed(42) // want nondeterm "math/rand.Seed draws from the unseeded global source"
+}
+
+func shuffleBad(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want nondeterm "math/rand.Shuffle draws from the unseeded global source"
+}
+
+func wallClockBad() int64 {
+	return time.Now().UnixNano() // want nondeterm "time.Now reads the wall clock"
+}
+
+func elapsedBad(start time.Time) time.Duration {
+	return time.Since(start) // want nondeterm "time.Since reads the wall clock"
+}
+
+func seededGood(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(100) // a method on a seeded *rand.Rand, not the global source
+}
+
+func zipfGood(seed int64) uint64 {
+	z := rand.NewZipf(rand.New(rand.NewSource(seed)), 1.1, 1, 1<<20)
+	return z.Uint64()
+}
+
+func durationGood() time.Duration {
+	return 5 * time.Millisecond // constants and arithmetic on time values are fine
+}

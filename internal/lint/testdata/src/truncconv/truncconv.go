@@ -1,0 +1,48 @@
+// Package fixture exercises the truncconv rule. The test analyzes it as
+// repro/internal/mc/fixture, inside the internal/ scope.
+package fixture
+
+func narrowBad(x uint64) uint32 {
+	return uint32(x) // want truncconv "conversion from uint64 to uint32 can truncate"
+}
+
+func narrowSignedBad(x int64) int16 {
+	return int16(x) // want truncconv "conversion from int64 to int16 can truncate"
+}
+
+func signFlipBad(x uint64) int {
+	return int(x) // want truncconv "conversion from uint64 to int can overflow to a negative value"
+}
+
+func maskedGood(x uint64) uint16 {
+	return uint16(x & 0xffff) // masked to the destination width
+}
+
+func modConstGood(x uint64) uint8 {
+	return uint8(x % 200) // remainder bounded by the constant divisor
+}
+
+func modLenGood(x uint64, s []int) int {
+	return int(x % uint64(len(s))) // remainder < len(s) ≤ MaxInt64
+}
+
+func shiftGood(x uint64) uint32 {
+	return uint32(x >> 40) // only 24 significant bits remain
+}
+
+func shiftBad(x uint64) uint32 {
+	return uint32(x >> 8) // want truncconv "conversion from uint64 to uint32 can truncate"
+}
+
+func widenGood(x uint32) uint64 {
+	return uint64(x) // widening never truncates
+}
+
+func constGood() uint8 {
+	return uint8(200) // constant conversions are compile-checked
+}
+
+func directiveGood(x uint64) int {
+	//twicelint:checked caller guarantees x < 2^31
+	return int(x)
+}

@@ -44,7 +44,7 @@ func NewAddrMap(p dram.Params) (*AddrMap, error) {
 			return nil, fmt.Errorf("mc: %s = %d is not a power of two", f.name, f.v)
 		}
 	}
-	return &AddrMap{
+	m := &AddrMap{
 		p:        p,
 		lineBits: uint(bits.TrailingZeros(uint(p.LineBytes))),
 		chBits:   uint(bits.TrailingZeros(uint(p.Channels))),
@@ -52,7 +52,18 @@ func NewAddrMap(p dram.Params) (*AddrMap, error) {
 		bankBits: uint(bits.TrailingZeros(uint(p.BanksPerRank))),
 		rankBits: uint(bits.TrailingZeros(uint(p.RanksPerChannel))),
 		rowBits:  uint(bits.TrailingZeros(uint(p.RowsPerBank))),
-	}, nil
+	}
+	if total := m.lineBits + m.chBits + m.colBits + m.bankBits + m.rankBits + m.rowBits; total > 63 {
+		return nil, fmt.Errorf("mc: geometry needs %d address bits, beyond the 63-bit address space", total)
+	}
+	return m, nil
+}
+
+// field extracts the low `width` bits of a as a coordinate, returning the
+// coordinate and the remaining high bits. NewAddrMap bounds the sum of all
+// field widths to 63, so each extracted value fits an int.
+func field(a uint64, width uint) (int, uint64) {
+	return int(a & (1<<width - 1)), a >> width //twicelint:checked field widths sum to ≤63 (NewAddrMap)
 }
 
 // Capacity returns the highest mappable address + 1.
@@ -66,15 +77,11 @@ func (m *AddrMap) Capacity() uint64 {
 func (m *AddrMap) Decompose(addr uint64) dram.Addr {
 	a := addr >> m.lineBits
 	var out dram.Addr
-	out.Channel = int(a & (1<<m.chBits - 1))
-	a >>= m.chBits
-	out.Col = int(a & (1<<m.colBits - 1))
-	a >>= m.colBits
-	out.Bank = int(a & (1<<m.bankBits - 1))
-	a >>= m.bankBits
-	out.Rank = int(a & (1<<m.rankBits - 1))
-	a >>= m.rankBits
-	out.Row = int(a & (1<<m.rowBits - 1))
+	out.Channel, a = field(a, m.chBits)
+	out.Col, a = field(a, m.colBits)
+	out.Bank, a = field(a, m.bankBits)
+	out.Rank, a = field(a, m.rankBits)
+	out.Row, _ = field(a, m.rowBits)
 	return out
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/defense"
+	"repro/internal/detutil"
 	"repro/internal/dram"
 	"repro/internal/rcd"
 	"repro/internal/stats"
@@ -516,10 +517,7 @@ func (ch *channel) refreshBatch() {
 		}
 	}
 	// Rank cores by marked load ascending (shortest job first).
-	cores := make([]int, 0, len(load))
-	for c := range load {
-		cores = append(cores, c)
-	}
+	cores := detutil.SortedKeys(load)
 	for i := 1; i < len(cores); i++ { // insertion sort: tiny n
 		for j := i; j > 0 && (load[cores[j]] < load[cores[j-1]] ||
 			(load[cores[j]] == load[cores[j-1]] && cores[j] < cores[j-1])); j-- {

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/defense"
+	"repro/internal/dram"
+)
+
+// recordingTWiCe wraps a TWiCe core and records the counter-table occupancy
+// of the touched bank after every ACT and every refresh tick — the run's
+// table-occupancy trajectory. Two identically-seeded runs must produce the
+// same trajectory element for element, which is a much stronger statement
+// than equal peak occupancy.
+type recordingTWiCe struct {
+	*core.TWiCe
+	traj []int
+}
+
+func (r *recordingTWiCe) OnActivate(bank dram.BankID, row int, now clock.Time) defense.Action {
+	a := r.TWiCe.OnActivate(bank, row, now)
+	r.traj = append(r.traj, r.TableFor(bank).Len())
+	return a
+}
+
+func (r *recordingTWiCe) OnRefreshTick(bank dram.BankID, now clock.Time) {
+	r.TWiCe.OnRefreshTick(bank, now)
+	r.traj = append(r.traj, r.TableFor(bank).Len())
+}
+
+// detState is everything two identically-seeded runs must agree on.
+type detState struct {
+	res     *Result
+	traj    []int
+	tables  map[dram.BankID][]core.Entry
+	disturb [][]int // per flat bank, per physical row (incl. spares)
+}
+
+func deterministicRun(t *testing.T) detState {
+	t.Helper()
+	cfg := scaledConfig()
+	rec := &recordingTWiCe{TWiCe: scaledTWiCe(t, cfg, core.PA)}
+	m, err := NewMachine(cfg, rec, s3Workload(t, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(DefaultLimits(40000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := detState{res: res, traj: rec.traj, tables: map[dram.BankID][]core.Entry{}}
+	physRows := cfg.DRAM.RowsPerBank + cfg.DRAM.SpareRowsPerBank
+	for _, b := range m.Device().Banks() {
+		snap := rec.TableFor(b.ID()).Snapshot()
+		sort.Slice(snap, func(i, j int) bool { return snap[i].Row < snap[j].Row })
+		st.tables[b.ID()] = snap
+		rows := make([]int, physRows)
+		for p := range rows {
+			rows[p] = b.Disturbance(p)
+		}
+		st.disturb = append(st.disturb, rows)
+	}
+	return st
+}
+
+// TestDeterminism runs the full pipeline (workload → MC → TWiCe → stats)
+// twice with the same seed and asserts the runs are indistinguishable:
+// identical counters (including ARR counts), sim time, per-core detection
+// attribution, bit-flip lists, RCD stats, table-occupancy trajectory, final
+// table contents, and final per-row disturbance state.
+func TestDeterminism(t *testing.T) {
+	a, b := deterministicRun(t), deterministicRun(t)
+	if a.res.Counters != b.res.Counters {
+		t.Errorf("non-deterministic counters:\n%+v\n%+v", a.res.Counters, b.res.Counters)
+	}
+	if a.res.Counters.ARRs != b.res.Counters.ARRs {
+		t.Errorf("non-deterministic ARR count: %d vs %d", a.res.Counters.ARRs, b.res.Counters.ARRs)
+	}
+	if a.res.SimTime != b.res.SimTime {
+		t.Errorf("non-deterministic sim time: %v vs %v", a.res.SimTime, b.res.SimTime)
+	}
+	if a.res.RCD != b.res.RCD {
+		t.Errorf("non-deterministic RCD stats:\n%+v\n%+v", a.res.RCD, b.res.RCD)
+	}
+	if !reflect.DeepEqual(a.res.DetectionsByCore, b.res.DetectionsByCore) {
+		t.Errorf("non-deterministic detection attribution:\n%v\n%v",
+			a.res.DetectionsByCore, b.res.DetectionsByCore)
+	}
+	if !reflect.DeepEqual(a.res.Flips, b.res.Flips) {
+		t.Errorf("non-deterministic flip lists: %d vs %d flips", len(a.res.Flips), len(b.res.Flips))
+	}
+	if len(a.traj) == 0 {
+		t.Fatal("empty occupancy trajectory (recorder not invoked)")
+	}
+	if !reflect.DeepEqual(a.traj, b.traj) {
+		t.Errorf("non-deterministic table-occupancy trajectory (len %d vs %d)",
+			len(a.traj), len(b.traj))
+		for i := range a.traj {
+			if i < len(b.traj) && a.traj[i] != b.traj[i] {
+				t.Errorf("first divergence at step %d: %d vs %d", i, a.traj[i], b.traj[i])
+				break
+			}
+		}
+	}
+	if !reflect.DeepEqual(a.tables, b.tables) {
+		t.Errorf("non-deterministic final table contents:\n%v\n%v", a.tables, b.tables)
+	}
+	if !reflect.DeepEqual(a.disturb, b.disturb) {
+		t.Error("non-deterministic per-row disturbance state")
+	}
+}

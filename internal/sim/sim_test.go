@@ -345,25 +345,6 @@ func TestCachedWorkloadFiltersTraffic(t *testing.T) {
 	}
 }
 
-func TestDeterminism(t *testing.T) {
-	run := func() *Result {
-		cfg := scaledConfig()
-		tw := scaledTWiCe(t, cfg, core.PA)
-		res, err := Run(cfg, tw, s3Workload(t, cfg), DefaultLimits(50000))
-		if err != nil {
-			t.Fatal(err)
-		}
-		return res
-	}
-	a, b := run(), run()
-	if a.Counters != b.Counters {
-		t.Errorf("non-deterministic counters:\n%+v\n%+v", a.Counters, b.Counters)
-	}
-	if a.SimTime != b.SimTime {
-		t.Errorf("non-deterministic sim time: %v vs %v", a.SimTime, b.SimTime)
-	}
-}
-
 func TestInstructionAccounting(t *testing.T) {
 	cfg := scaledConfig()
 	w, err := workload.SPECRate("mcf", 1, uint64(cfg.DRAM.TotalCapacityBytes()), 3)

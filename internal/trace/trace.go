@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/workload"
 )
@@ -37,8 +38,10 @@ func NewWriter(w io.Writer) (*Writer, error) {
 func (t *Writer) Write(a workload.Access) error {
 	var buf [binary.MaxVarintLen64 + binary.MaxVarintLen32 + 1]byte
 	// Address as zig-zag delta from the previous access (streams compress
-	// to one byte per access); flags bit 0 = write.
-	delta := int64(a.Addr) - int64(t.lastAddr)
+	// to one byte per access); flags bit 0 = write. The subtraction is
+	// two's-complement modular arithmetic: the reader adds the delta back
+	// mod 2^64, so apparent overflow round-trips exactly.
+	delta := int64(a.Addr) - int64(t.lastAddr) //twicelint:checked wrapping delta encoding is intentional
 	n := binary.PutVarint(buf[:], delta)
 	n += binary.PutUvarint(buf[n:], uint64(a.Gap))
 	flags := byte(0)
@@ -97,9 +100,12 @@ func (t *Reader) Read() (workload.Access, error) {
 	if err != nil {
 		return workload.Access{}, fmt.Errorf("trace: reading flags: %w", err)
 	}
-	addr := uint64(int64(t.lastAddr) + delta)
+	if gap > math.MaxInt32 {
+		return workload.Access{}, fmt.Errorf("trace: gap %d out of range (corrupt stream)", gap)
+	}
+	addr := uint64(int64(t.lastAddr) + delta) //twicelint:checked inverse of the wrapping delta encoding
 	t.lastAddr = addr
-	return workload.Access{Addr: addr, Gap: int(gap), Write: flags&1 != 0}, nil
+	return workload.Access{Addr: addr, Gap: int(gap), Write: flags&1 != 0}, nil //twicelint:checked gap bounded to MaxInt32 above
 }
 
 // Replayer adapts a fully read trace into a workload.Generator that loops

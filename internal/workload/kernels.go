@@ -83,6 +83,7 @@ func (g *pagerankGen) Next() Access {
 		g.cursor = (g.cursor + 64) % g.edgeSize
 		return Access{Addr: g.edgeBase + g.cursor, Gap: g.gaps.next()}
 	case 1: // random source-rank read
+		//twicelint:checked rankSize is a fraction of DRAM capacity, far below 2^63
 		g.dst = uint64(g.rng.Int63n(int64(g.rankSize))) &^ 63
 		return Access{Addr: g.rankBase + g.dst, Gap: g.gaps.next()}
 	default: // accumulator update near the destination

@@ -116,6 +116,7 @@ func (g *specGen) Next() Access {
 		g.cursor += 64
 		g.runLen--
 	} else {
+		//twicelint:checked size is bounded by DRAM capacity, far below 2^63
 		g.cursor = uint64(g.rng.Int63n(int64(g.size))) &^ 63
 		g.runLen = 4 + g.rng.Intn(60) // fresh sequential run
 	}

@@ -1,0 +1,33 @@
+#!/bin/sh
+# verify.sh — the canonical repository check. Everything here must pass
+# before a change lands; CI and the tier-1 line in ROADMAP.md run the same
+# sequence.
+#
+#   1. go vet          — stdlib static checks
+#   2. go build        — everything compiles
+#   3. twicelint       — determinism & hygiene rules (internal/lint); the
+#                        build fails on any finding
+#   4. go test         — full test suite (includes the golden linter tests,
+#                        the whole-repo lint run, and the same-seed
+#                        byte-identity determinism tests)
+#   5. go test -race   — race detector over the event loop and TWiCe engine
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> twicelint ./..."
+go run ./cmd/twicelint ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race ./internal/sim/... ./internal/core/..."
+go test -race ./internal/sim/... ./internal/core/...
+
+echo "verify: OK"
