@@ -4,16 +4,22 @@
 // Usage:
 //
 //	paperrepro [-scale quick|paper] [-only table1|table2|table3|table4|fig7a|fig7b|area]
+//	           [-parallel N] [-cpuprofile out.pprof] [-memprofile out.pprof]
 //
 // The quick scale (default) shrinks the refresh window and every threshold
 // 64×, preserving the reported ratios while finishing in minutes; the paper
 // scale runs the exact Table 2 parameters and takes correspondingly longer.
+// -parallel runs the independent (workload, defense) cells of each grid on
+// that many workers (0, the default, uses every CPU; 1 forces serial); output
+// is byte-identical at any worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/experiments"
 )
@@ -23,6 +29,9 @@ func main() {
 	only := flag.String("only", "", "run a single experiment: table1,table2,table3,table4,fig7a,fig7b,area")
 	requests := flag.Int64("requests", 0, "override demand requests per cell")
 	csvDir := flag.String("csv", "", "directory to also write fig7a.csv / fig7b.csv into")
+	par := flag.Int("parallel", 0, "worker goroutines per experiment grid (0 = all CPUs, 1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	var s experiments.Scale
@@ -38,6 +47,21 @@ func main() {
 	if *requests > 0 {
 		s.Requests = *requests
 	}
+	s.Parallel = *par
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		// fail() exits without running defers; an aborted run loses its
+		// profile, which is fine for a diagnostics flag.
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memprofile)
 
 	want := func(name string) bool { return *only == "" || *only == name }
 	fmt.Printf("TWiCe reproduction — scale %s (thRH=%d, tREFW=%v, %d requests/cell)\n\n",
@@ -132,6 +156,25 @@ func writeCSV(dir, name string, cells []experiments.Cell) {
 		fail(err)
 	}
 	fmt.Printf("(wrote %s/%s)\n", dir, name)
+}
+
+// writeMemProfile snapshots the heap into path (no-op when empty).
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	runtime.GC() // profile live objects, not garbage
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		_ = f.Close()
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
 }
 
 func fail(err error) {

@@ -1,0 +1,197 @@
+// Command perfbench measures the repository's performance envelope and
+// writes it to a JSON file (BENCH_2.json by default) so successive PRs can
+// track the trajectory:
+//
+//   - the single-run hot path: ns/op, allocs/op, and B/op for an S3 attack
+//     run end to end through the event loop (the same body as
+//     BenchmarkSimRunAllocs in internal/sim);
+//   - grid throughput: cells/sec for the Figure 7(b) grid executed serially
+//     (Parallel = 1) and on the worker pool, with the resulting speedup.
+//
+// Wall-clock timing is inherently nondeterministic; that is fine here
+// because the numbers are diagnostics, never simulation inputs (twicelint's
+// nondeterm rule stays scoped to internal/ for exactly this split).
+//
+// Usage:
+//
+//	perfbench [-out BENCH_2.json] [-requests 40000] [-parallel 0]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/mc"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// hotPath mirrors internal/sim's BenchmarkSimRunAllocs: a single-core S3
+// attack under quick-scale TWiCe, bounded by the request budget.
+type hotPath struct {
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Requests    int64   `json:"requests_per_op"`
+	NsPerReq    float64 `json:"ns_per_request"`
+}
+
+// gridThroughput compares the Figure 7(b) grid run serially and on the
+// worker pool.
+type gridThroughput struct {
+	Cells           int     `json:"cells"`
+	RequestsPerCell int64   `json:"requests_per_cell"`
+	Workers         int     `json:"workers"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	SerialCellsSec  float64 `json:"serial_cells_per_sec"`
+	ParCellsSec     float64 `json:"parallel_cells_per_sec"`
+	Speedup         float64 `json:"speedup"`
+}
+
+type report struct {
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	HotPath    hotPath        `json:"sim_run_s3"`
+	Figure7b   gridThroughput `json:"figure7b_grid"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_2.json", "output JSON file")
+	requests := flag.Int64("requests", 40000, "demand requests per Figure 7(b) cell")
+	par := flag.Int("parallel", 0, "workers for the parallel grid leg (0 = all CPUs)")
+	flag.Parse()
+
+	rep := report{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+
+	fmt.Println("perfbench: hot path (S3 through the event loop)...")
+	hp, err := benchHotPath()
+	if err != nil {
+		fail(err)
+	}
+	rep.HotPath = hp
+	fmt.Printf("  %d ns/op, %d allocs/op, %d B/op (%d requests, %.1f ns/request)\n",
+		hp.NsPerOp, hp.AllocsPerOp, hp.BytesPerOp, hp.Requests, hp.NsPerReq)
+
+	fmt.Println("perfbench: Figure 7(b) grid, serial vs parallel...")
+	gt, err := benchGrid(*requests, *par)
+	if err != nil {
+		fail(err)
+	}
+	rep.Figure7b = gt
+	fmt.Printf("  %d cells × %d requests: serial %.2fs (%.2f cells/s), parallel %.2fs (%.2f cells/s), %.2fx on %d workers\n",
+		gt.Cells, gt.RequestsPerCell, gt.SerialSeconds, gt.SerialCellsSec,
+		gt.ParallelSeconds, gt.ParCellsSec, gt.Speedup, gt.Workers)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("perfbench: wrote %s\n", *out)
+}
+
+// benchHotPath times the single-run event loop with allocation accounting.
+func benchHotPath() (hotPath, error) {
+	const requests = 20000
+	cfg := sim.DefaultConfig(1)
+	cfg.DRAM.TREFW = clock.Millisecond
+	cfg.DRAM.NTh = 2048
+	cfg.MC = mc.NewConfig(cfg.DRAM)
+	amap, err := mc.NewAddrMap(cfg.DRAM)
+	if err != nil {
+		return hotPath{}, err
+	}
+	var served int64
+	var runErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ccfg := core.NewConfig(cfg.DRAM)
+			ccfg.ThRH = 512
+			tw, err := core.New(ccfg)
+			if err != nil {
+				runErr = err
+				return
+			}
+			r, err := sim.Run(cfg, tw, workload.S3(amap, cfg.DRAM, 5000),
+				sim.Limits{MaxRequests: requests, MaxTime: 10 * clock.Second})
+			if err != nil {
+				runErr = err
+				return
+			}
+			served = r.Counters.RequestsServed
+		}
+	})
+	if runErr != nil {
+		return hotPath{}, runErr
+	}
+	hp := hotPath{
+		NsPerOp:     res.NsPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		Requests:    served,
+	}
+	if served > 0 {
+		hp.NsPerReq = float64(res.NsPerOp()) / float64(served)
+	}
+	return hp, nil
+}
+
+// benchGrid times Figure 7(b) serially and on the worker pool. Both legs run
+// the identical grid; the equivalence tests (internal/experiments) already
+// pin that the results match byte for byte, so only timing is recorded here.
+func benchGrid(requests int64, workers int) (gridThroughput, error) {
+	s := experiments.QuickScale()
+	s.Requests = requests
+
+	serial := s
+	serial.Parallel = 1
+	start := time.Now()
+	cells, err := experiments.Figure7b(serial)
+	if err != nil {
+		return gridThroughput{}, err
+	}
+	serialDur := time.Since(start)
+
+	par := s
+	par.Parallel = workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	start = time.Now()
+	if _, err := experiments.Figure7b(par); err != nil {
+		return gridThroughput{}, err
+	}
+	parDur := time.Since(start)
+
+	gt := gridThroughput{
+		Cells:           len(cells),
+		RequestsPerCell: requests,
+		Workers:         workers,
+		SerialSeconds:   serialDur.Seconds(),
+		ParallelSeconds: parDur.Seconds(),
+	}
+	if serialDur > 0 {
+		gt.SerialCellsSec = float64(len(cells)) / serialDur.Seconds()
+	}
+	if parDur > 0 {
+		gt.ParCellsSec = float64(len(cells)) / parDur.Seconds()
+		gt.Speedup = serialDur.Seconds() / parDur.Seconds()
+	}
+	return gt, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "perfbench:", err)
+	os.Exit(1)
+}

@@ -10,7 +10,9 @@
 //
 // Every sweep runs the S3 attack on the quick-scale machine and reports the
 // additional-ACT ratio, detections, flips, and (for TWiCe sweeps) the
-// provable table bound at each point.
+// provable table bound at each point. Points are independent simulations, so
+// -parallel runs them concurrently; CSV rows are emitted in value order
+// regardless of which point finishes first.
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"repro/internal/defense/para"
 	"repro/internal/experiments"
 	"repro/internal/mc"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -35,6 +38,7 @@ func main() {
 	values := flag.String("values", "", "comma-separated sweep values")
 	requests := flag.Int64("requests", 150000, "demand requests per point")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	par := flag.Int("parallel", 0, "worker goroutines across sweep points (0 = all CPUs, 1 = serial)")
 	flag.Parse()
 	if *values == "" {
 		fail(fmt.Errorf("-values is required"))
@@ -42,84 +46,97 @@ func main() {
 
 	s := experiments.QuickScale()
 	s.Seed = *seed
-	fmt.Println("param,value,extra_act_ratio,detections,arrs,nacks,flips,table_entries")
-	for _, raw := range strings.Split(*values, ",") {
-		raw = strings.TrimSpace(raw)
-		cfg := sim.DefaultConfig(1)
-		cfg.DRAM.TREFW = s.TREFW
-		cfg.DRAM.NTh = s.NTh
-		cfg.Seed = *seed
-
-		var def defense.Defense
-		tableEntries := 0
-		switch *param {
-		case "thrh":
-			v, err := strconv.Atoi(raw)
-			if err != nil {
-				fail(err)
-			}
-			cfg.DRAM.NTh = 4 * v // keep the config sound at every point
-			ccfg := core.NewConfig(cfg.DRAM)
-			ccfg.ThRH = v
-			tw, err := core.New(ccfg)
-			if err != nil {
-				fail(err)
-			}
-			def, tableEntries = tw, ccfg.TableBound()
-		case "para-p":
-			v, err := strconv.ParseFloat(raw, 64)
-			if err != nil {
-				fail(err)
-			}
-			pa, err := para.New(v, cfg.DRAM, *seed+3)
-			if err != nil {
-				fail(err)
-			}
-			def = pa
-		case "prune-every":
-			v, err := strconv.Atoi(raw)
-			if err != nil {
-				fail(err)
-			}
-			ccfg := core.NewConfig(cfg.DRAM)
-			ccfg.ThRH = s.ThRH
-			ccfg.PruneEvery = v
-			tw, err := core.New(ccfg)
-			if err != nil {
-				fail(err)
-			}
-			def, tableEntries = tw, ccfg.TableBound()
-		case "blast-radius":
-			v, err := strconv.Atoi(raw)
-			if err != nil {
-				fail(err)
-			}
-			cfg.DRAM.BlastRadius = v
-			ccfg := core.NewConfig(cfg.DRAM)
-			ccfg.ThRH = s.ThRH
-			tw, err := core.New(ccfg)
-			if err != nil {
-				fail(err)
-			}
-			def, tableEntries = tw, ccfg.TableBound()
-		default:
-			fail(fmt.Errorf("unknown parameter %q", *param))
-		}
-
-		cfg.MC = mc.NewConfig(cfg.DRAM)
-		amap, err := mc.NewAddrMap(cfg.DRAM)
-		if err != nil {
-			fail(err)
-		}
-		res, err := sim.Run(cfg, def, workload.S3(amap, cfg.DRAM, 5000),
-			sim.Limits{MaxRequests: *requests, MaxTime: 10 * clock.Second})
-		if err != nil {
-			fail(err)
-		}
-		c := res.Counters
-		fmt.Printf("%s,%s,%.6g,%d,%d,%d,%d,%d\n",
-			*param, raw, c.AdditionalACTRatio(), c.Detections, c.ARRs, c.Nacks, len(res.Flips), tableEntries)
+	points := strings.Split(*values, ",")
+	lines, err := parallel.Map(*par, len(points), func(i int) (string, error) {
+		return runPoint(*param, strings.TrimSpace(points[i]), s, *requests, *seed)
+	})
+	if err != nil {
+		fail(err)
 	}
+	fmt.Println("param,value,extra_act_ratio,detections,arrs,nacks,flips,table_entries")
+	for _, line := range lines {
+		fmt.Print(line)
+	}
+}
+
+// runPoint simulates one sweep point and returns its CSV row (with trailing
+// newline). Each point builds its own config, defense, and workload, so
+// points share no mutable state and may run on any worker.
+func runPoint(param, raw string, s experiments.Scale, requests, seed int64) (string, error) {
+	cfg := sim.DefaultConfig(1)
+	cfg.DRAM.TREFW = s.TREFW
+	cfg.DRAM.NTh = s.NTh
+	cfg.Seed = seed
+
+	var def defense.Defense
+	tableEntries := 0
+	switch param {
+	case "thrh":
+		v, err := strconv.Atoi(raw)
+		if err != nil {
+			return "", err
+		}
+		cfg.DRAM.NTh = 4 * v // keep the config sound at every point
+		ccfg := core.NewConfig(cfg.DRAM)
+		ccfg.ThRH = v
+		tw, err := core.New(ccfg)
+		if err != nil {
+			return "", err
+		}
+		def, tableEntries = tw, ccfg.TableBound()
+	case "para-p":
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return "", err
+		}
+		pa, err := para.New(v, cfg.DRAM, seed+3)
+		if err != nil {
+			return "", err
+		}
+		def = pa
+	case "prune-every":
+		v, err := strconv.Atoi(raw)
+		if err != nil {
+			return "", err
+		}
+		ccfg := core.NewConfig(cfg.DRAM)
+		ccfg.ThRH = s.ThRH
+		ccfg.PruneEvery = v
+		tw, err := core.New(ccfg)
+		if err != nil {
+			return "", err
+		}
+		def, tableEntries = tw, ccfg.TableBound()
+	case "blast-radius":
+		v, err := strconv.Atoi(raw)
+		if err != nil {
+			return "", err
+		}
+		cfg.DRAM.BlastRadius = v
+		ccfg := core.NewConfig(cfg.DRAM)
+		ccfg.ThRH = s.ThRH
+		tw, err := core.New(ccfg)
+		if err != nil {
+			return "", err
+		}
+		def, tableEntries = tw, ccfg.TableBound()
+	default:
+		return "", fmt.Errorf("unknown parameter %q", param)
+	}
+
+	cfg.MC = mc.NewConfig(cfg.DRAM)
+	amap, err := mc.NewAddrMap(cfg.DRAM)
+	if err != nil {
+		return "", err
+	}
+	res, err := sim.Run(cfg, def, workload.S3(amap, cfg.DRAM, 5000),
+		sim.Limits{MaxRequests: requests, MaxTime: 10 * clock.Second})
+	if err != nil {
+		return "", err
+	}
+	c := res.Counters
+	return fmt.Sprintf("%s,%s,%.6g,%d,%d,%d,%d,%d\n",
+		param, raw, c.AdditionalACTRatio(), c.Detections, c.ARRs, c.Nacks, len(res.Flips), tableEntries), nil
 }
 
 func fail(err error) {

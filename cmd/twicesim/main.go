@@ -1,27 +1,35 @@
-// Command twicesim runs one workload against one row-hammer defense on the
-// simulated Table 4 machine and prints the full activity report.
+// Command twicesim runs one workload against one or more row-hammer defenses
+// on the simulated Table 4 machine and prints the full activity report.
 //
 // Usage:
 //
 //	twicesim -workload S3 -defense TWiCe -requests 500000
 //	twicesim -workload mix-high -defense PARA-0.002 -cores 16
+//	twicesim -workload S3 -defense none,TWiCe,PARA-0.002 -parallel 3
 //	twicesim -workload specrate:mcf -defense CBT-256
 //	twicesim -list
 //
 // Workloads: S1, S2, S3, double-sided, mix-high, mix-blend, FFT, MICA,
 // PageRank, RADIX, specrate:<app>. Defenses: none, TWiCe, TWiCe-fa,
-// TWiCe-sep, PARA-0.001, PARA-0.002, CBT-256, CRA, PRoHIT.
+// TWiCe-sep, PARA-0.001, PARA-0.002, CBT-256, CRA, PRoHIT. A comma-separated
+// -defense list runs each defense as an independent simulation — concurrently
+// under -parallel — and prints the reports in list order.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/clock"
+	"repro/internal/detutil"
 	"repro/internal/experiments"
 	"repro/internal/mc"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -29,13 +37,16 @@ import (
 
 func main() {
 	wname := flag.String("workload", "S3", "workload to run (see -list)")
-	dname := flag.String("defense", "TWiCe", "defense to attach (see -list)")
+	dname := flag.String("defense", "TWiCe", "defense to attach, or a comma-separated list (see -list)")
 	cores := flag.Int("cores", 4, "cores for multi-programmed/threaded workloads")
 	requests := flag.Int64("requests", 200000, "demand memory requests to simulate")
 	scaleFlag := flag.String("scale", "quick", "threshold scale: quick (1 ms window) or paper (64 ms)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	hammerRow := flag.Int("row", 5000, "aggressor/victim row for S3 and double-sided")
 	replay := flag.String("replay", "", "replay a recorded trace file instead of a named workload")
+	par := flag.Int("parallel", 0, "worker goroutines across -defense list entries (0 = all CPUs, 1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	list := flag.Bool("list", false, "list workloads and defenses, then exit")
 	flag.Parse()
 
@@ -69,59 +80,114 @@ func main() {
 	cfg.MC = mc.NewConfig(cfg.DRAM)
 	cfg.Seed = *seed
 
-	var w workload.Workload
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		// fail() exits without running defers; an aborted run loses its
+		// profile, which is fine for a diagnostics flag.
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memprofile)
+
+	// Workloads carry generator state (RNG cursors, trace positions), so each
+	// defense gets a freshly built copy; replayed traces are read into memory
+	// once and re-decoded per defense.
+	buildW := func() (workload.Workload, error) {
+		return buildWorkload(*wname, s, cfg, *hammerRow)
+	}
 	if *replay != "" {
-		f, err := os.Open(*replay)
+		data, err := os.ReadFile(*replay)
 		if err != nil {
 			fail(err)
 		}
-		rep, err := trace.NewReplayer(*replay, f)
-		_ = f.Close() // read-only: close errors carry no data loss
-		if err != nil {
-			fail(err)
-		}
-		w = workload.Workload{Name: "replay:" + *replay, Gens: []workload.Generator{rep}, BypassCache: true}
-	} else {
-		var err error
-		w, err = buildWorkload(*wname, s, cfg, *hammerRow)
-		if err != nil {
-			fail(err)
+		buildW = func() (workload.Workload, error) {
+			rep, err := trace.NewReplayer(*replay, bytes.NewReader(data))
+			if err != nil {
+				return workload.Workload{}, err
+			}
+			return workload.Workload{Name: "replay:" + *replay, Gens: []workload.Generator{rep}, BypassCache: true}, nil
 		}
 	}
-	def, err := s.NewDefense(*dname, cfg.DRAM)
+
+	dnames := strings.Split(*dname, ",")
+	reports, err := parallel.Map(*par, len(dnames), func(i int) (string, error) {
+		w, err := buildW()
+		if err != nil {
+			return "", err
+		}
+		def, err := s.NewDefense(strings.TrimSpace(dnames[i]), cfg.DRAM)
+		if err != nil {
+			return "", err
+		}
+		res, err := sim.Run(cfg, def, w, sim.Limits{MaxRequests: *requests, MaxTime: 30 * clock.Second})
+		if err != nil {
+			return "", err
+		}
+		return report(res), nil
+	})
 	if err != nil {
 		fail(err)
 	}
-
-	res, err := sim.Run(cfg, def, w, sim.Limits{MaxRequests: *requests, MaxTime: 30 * clock.Second})
-	if err != nil {
-		fail(err)
+	for i, r := range reports {
+		if i > 0 {
+			fmt.Println(strings.Repeat("-", 60))
+		}
+		fmt.Print(r)
 	}
+}
 
+// report renders the activity report for one completed run.
+func report(res *sim.Result) string {
+	var b strings.Builder
 	c := res.Counters
-	fmt.Printf("workload  %s\ndefense   %s\nsim time  %v\n\n", res.Workload, res.Defense, res.SimTime)
-	fmt.Printf("requests served    %d (avg latency %v, max %v)\n", c.RequestsServed, c.AvgLatency(), c.MaxLatency)
-	fmt.Printf("row activations    %d normal + %d defense-added (%.4f%%)\n", c.NormalACTs, c.DefenseACTs, 100*c.AdditionalACTRatio())
-	fmt.Printf("row buffer         %.1f%% hits (%d hits / %d misses / %d conflicts)\n",
+	fmt.Fprintf(&b, "workload  %s\ndefense   %s\nsim time  %v\n\n", res.Workload, res.Defense, res.SimTime)
+	fmt.Fprintf(&b, "requests served    %d (avg latency %v, max %v)\n", c.RequestsServed, c.AvgLatency(), c.MaxLatency)
+	fmt.Fprintf(&b, "row activations    %d normal + %d defense-added (%.4f%%)\n", c.NormalACTs, c.DefenseACTs, 100*c.AdditionalACTRatio())
+	fmt.Fprintf(&b, "row buffer         %.1f%% hits (%d hits / %d misses / %d conflicts)\n",
 		100*c.RowHitRate(), c.RowHits, c.RowMisses, c.RowConflicts)
-	fmt.Printf("refreshes          %d auto-refresh, %d ARR commands, %d nacks\n", c.Refreshes, c.ARRs, c.Nacks)
-	fmt.Printf("detections         %d row-hammer aggressors flagged\n", c.Detections)
+	fmt.Fprintf(&b, "refreshes          %d auto-refresh, %d ARR commands, %d nacks\n", c.Refreshes, c.ARRs, c.Nacks)
+	fmt.Fprintf(&b, "detections         %d row-hammer aggressors flagged\n", c.Detections)
 	if len(res.DetectionsByCore) > 0 {
-		fmt.Print("attribution       ")
-		for core, n := range res.DetectionsByCore {
-			fmt.Printf(" core%d:%d", core, n)
+		b.WriteString("attribution       ")
+		for _, core := range detutil.SortedKeys(res.DetectionsByCore) {
+			fmt.Fprintf(&b, " core%d:%d", core, res.DetectionsByCore[core])
 		}
-		fmt.Println()
+		b.WriteString("\n")
 	}
-	fmt.Printf("bit flips          %d", len(res.Flips))
+	fmt.Fprintf(&b, "bit flips          %d", len(res.Flips))
 	if len(res.Flips) > 0 {
 		f := res.Flips[0]
-		fmt.Printf(" (first: %v physical row %d at %v)", f.Bank, f.PhysRow, f.Time)
+		fmt.Fprintf(&b, " (first: %v physical row %d at %v)", f.Bank, f.PhysRow, f.Time)
 	}
-	fmt.Println()
+	b.WriteString("\n")
 	if c.CacheHits+c.CacheMisses > 0 {
-		fmt.Printf("caches             %.1f%% hierarchy hit rate, L3 %.1f%%\n",
+		fmt.Fprintf(&b, "caches             %.1f%% hierarchy hit rate, L3 %.1f%%\n",
 			100*float64(c.CacheHits)/float64(c.CacheHits+c.CacheMisses), 100*res.L3.HitRate())
+	}
+	return b.String()
+}
+
+// writeMemProfile snapshots the heap into path (no-op when empty).
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	runtime.GC() // profile live objects, not garbage
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		_ = f.Close()
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
 	}
 }
 

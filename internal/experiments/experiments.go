@@ -22,6 +22,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/energy"
 	"repro/internal/mc"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -40,6 +41,11 @@ type Scale struct {
 	Requests     int64 // demand requests per cell
 	SPECApps     []string
 	Seed         int64
+	// Parallel sizes the worker pool the cell grids fan out on: 0 (the
+	// default) uses runtime.GOMAXPROCS(0), 1 forces serial execution.
+	// Results are identical either way — cells are independent machines and
+	// the engine reassembles them by index (see internal/parallel).
+	Parallel int
 }
 
 // PaperScale reproduces the paper's parameters exactly (Table 2): thRH =
@@ -193,6 +199,32 @@ func (s Scale) runCell(wname string, w workload.Workload, dname string) (Cell, e
 	}, nil
 }
 
+// cellJob names one (workload, defense) cell of an experiment grid. The
+// workload is built inside the worker that runs the cell: generators carry
+// per-run RNG state, so sharing a built workload across cells would couple
+// them.
+type cellJob struct {
+	wname string
+	build func() (workload.Workload, error)
+	dname string
+}
+
+// runGrid executes a flat list of independent cells on the scale's worker
+// pool and returns one Cell per job, in job order. Execution order does not
+// affect the result: every cell assembles its own machine (device, caches,
+// controller, defense, counters) from the deterministic Scale parameters,
+// and results land by index.
+func (s Scale) runGrid(jobs []cellJob) ([]Cell, error) {
+	return parallel.Map(s.Parallel, len(jobs), func(i int) (Cell, error) {
+		j := jobs[i]
+		w, err := j.build()
+		if err != nil {
+			return Cell{}, err
+		}
+		return s.runCell(j.wname, w, j.dname)
+	})
+}
+
 // figure7aWorkloads builds the Figure 7(a) workload set: SPECrate average is
 // represented by running each app and averaging, plus mix-high, mix-blend,
 // FFT, MICA, PageRank, and RADIX.
@@ -213,26 +245,46 @@ func (s Scale) figure7aWorkloads(memBytes uint64) (map[string]func() (workload.W
 
 // Figure7a runs the multi-programmed and multi-threaded study for every
 // defense and returns cells in display order, including the SPECrate average
-// and the cross-workload Average row the figure shows.
+// and the cross-workload Average row the figure shows. The full grid —
+// every SPEC app and named workload under every defense — runs as one flat
+// batch of independent cells on the scale's worker pool.
 func Figure7a(s Scale) ([]Cell, error) {
 	cfg := s.machineConfig()
 	memBytes := uint64(cfg.DRAM.TotalCapacityBytes())
 	builders, order := s.figure7aWorkloads(memBytes)
 
-	var cells []Cell
+	// Per defense: the SPEC apps backing SPECrate(Avg), then the named
+	// workloads. The job list mirrors the display order so reassembly below
+	// is a linear walk.
+	var jobs []cellJob
 	for _, dname := range DefenseNames() {
-		// SPECrate(Avg): run each app, average the ratios.
+		for _, app := range s.SPECApps {
+			jobs = append(jobs, cellJob{
+				wname: "specrate-" + app,
+				build: func() (workload.Workload, error) {
+					return workload.SPECRate(app, s.Cores, memBytes, s.Seed)
+				},
+				dname: dname,
+			})
+		}
+		for _, wname := range order[1:] {
+			jobs = append(jobs, cellJob{wname: wname, build: builders[wname], dname: dname})
+		}
+	}
+	results, err := s.runGrid(jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	var cells []Cell
+	i := 0
+	for _, dname := range DefenseNames() {
+		// SPECrate(Avg): average the per-app ratios, sum the act counts.
 		var sum float64
 		var agg Cell
-		for _, app := range s.SPECApps {
-			w, err := workload.SPECRate(app, s.Cores, memBytes, s.Seed)
-			if err != nil {
-				return nil, err
-			}
-			c, err := s.runCell("specrate-"+app, w, dname)
-			if err != nil {
-				return nil, err
-			}
+		for range s.SPECApps {
+			c := results[i]
+			i++
 			sum += c.Ratio
 			agg.NormalACTs += c.NormalACTs
 			agg.ExtraACTs += c.ExtraACTs
@@ -243,31 +295,41 @@ func Figure7a(s Scale) ([]Cell, error) {
 		agg.Defense = dname
 		agg.Ratio = sum / float64(len(s.SPECApps))
 		cells = append(cells, agg)
-
-		for _, wname := range order[1:] {
-			w, err := builders[wname]()
-			if err != nil {
-				return nil, err
-			}
-			c, err := s.runCell(wname, w, dname)
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, c)
+		for range order[1:] {
+			cells = append(cells, results[i])
+			i++
 		}
 	}
 	cells = append(cells, averageRows(cells)...)
 	return cells, nil
 }
 
-// averageRows appends the per-defense Average row Figure 7(a) shows.
+// averageRows appends the per-defense Average row Figure 7(a) shows. Rows
+// follow the DefenseNames display order — the order the figure's bars use —
+// with any defense outside that set appended in sorted order.
 func averageRows(cells []Cell) []Cell {
 	byDefense := map[string][]Cell{}
 	for _, c := range cells {
 		byDefense[c.Defense] = append(byDefense[c.Defense], c)
 	}
-	var out []Cell
+	display := DefenseNames()
+	order := make([]string, 0, len(byDefense))
+	for _, n := range display {
+		if _, ok := byDefense[n]; ok {
+			order = append(order, n)
+		}
+	}
+	shown := make(map[string]bool, len(display))
+	for _, n := range display {
+		shown[n] = true
+	}
 	for _, n := range detutil.SortedKeys(byDefense) {
+		if !shown[n] {
+			order = append(order, n)
+		}
+	}
+	var out []Cell
+	for _, n := range order {
 		var sum float64
 		for _, c := range byDefense[n] {
 			sum += c.Ratio
@@ -281,7 +343,10 @@ func averageRows(cells []Cell) []Cell {
 	return out
 }
 
-// Figure7b runs the synthetic study (S1, S2, S3) for every defense.
+// Figure7b runs the synthetic study (S1, S2, S3) for every defense, fanning
+// the 12-cell grid out on the scale's worker pool. The address map is shared
+// across cells (it is immutable after construction); each cell builds its
+// own workload because generators carry RNG state.
 func Figure7b(s Scale) ([]Cell, error) {
 	cfg := s.machineConfig()
 	amap, err := mc.NewAddrMap(cfg.DRAM)
@@ -296,17 +361,18 @@ func Figure7b(s Scale) ([]Cell, error) {
 		{"S2", func() workload.Workload { return workload.S2(amap, cfg.DRAM, s.CBTThreshold) }},
 		{"S3", func() workload.Workload { return workload.S3(amap, cfg.DRAM, 5000) }},
 	}
-	var cells []Cell
+	var jobs []cellJob
 	for _, syn := range synthetics {
 		for _, dname := range DefenseNames() {
-			c, err := s.runCell(syn.name, syn.build(), dname)
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, c)
+			build := syn.build
+			jobs = append(jobs, cellJob{
+				wname: syn.name,
+				build: func() (workload.Workload, error) { return build(), nil },
+				dname: dname,
+			})
 		}
 	}
-	return cells, nil
+	return s.runGrid(jobs)
 }
 
 // RenderCells renders cells as an aligned text table.
@@ -333,26 +399,52 @@ func Table2(s Scale) analysis.Derived {
 // Table3 returns the timing/energy constants (the paper's measurements).
 func Table3() energy.Model { return energy.Table3() }
 
-// Table3Measured runs an S3 attack under TWiCe and aggregates Table 3's
-// constants over the simulated command mix, reproducing the §7.1 overheads.
+// Table3Measured runs an S3 attack under each table organization and
+// aggregates Table 3's constants over the simulated command mix, reproducing
+// the §7.1 overheads. The three org cells (fa, pa, separated) are
+// independent and run on the scale's worker pool; the returned breakdown is
+// the paper's default (pa) organization, with all three available through
+// Table3MeasuredAll.
 func Table3Measured(s Scale) (energy.Breakdown, error) {
-	cfg := s.machineConfig()
-	ccfg := core.NewConfig(cfg.DRAM)
-	ccfg.ThRH = s.ThRH
-	tw, err := core.New(ccfg)
+	all, err := Table3MeasuredAll(s)
 	if err != nil {
 		return energy.Breakdown{}, err
 	}
+	return all[core.NewConfig(s.machineConfig().DRAM).Org], nil
+}
+
+// Table3MeasuredAll runs the §7.1 measurement for every table organization
+// and returns the breakdowns keyed by organization.
+func Table3MeasuredAll(s Scale) (map[core.Org]energy.Breakdown, error) {
+	cfg := s.machineConfig()
 	amap, err := mc.NewAddrMap(cfg.DRAM)
 	if err != nil {
-		return energy.Breakdown{}, err
+		return nil, err
 	}
-	res, err := sim.Run(cfg, tw, workload.S3(amap, cfg.DRAM, 5000),
-		sim.Limits{MaxRequests: s.Requests, MaxTime: 10 * clock.Second})
+	orgs := []core.Org{core.FA, core.PA, core.Separated}
+	bds, err := parallel.Map(s.Parallel, len(orgs), func(i int) (energy.Breakdown, error) {
+		ccfg := core.NewConfig(cfg.DRAM)
+		ccfg.ThRH = s.ThRH
+		ccfg.Org = orgs[i]
+		tw, err := core.New(ccfg)
+		if err != nil {
+			return energy.Breakdown{}, err
+		}
+		res, err := sim.Run(cfg, tw, workload.S3(amap, cfg.DRAM, 5000),
+			sim.Limits{MaxRequests: s.Requests, MaxTime: 10 * clock.Second})
+		if err != nil {
+			return energy.Breakdown{}, err
+		}
+		return energy.Table3().Aggregate(res.Counters, tw.Ops(), ccfg.Org, cfg.DRAM.BanksPerRank), nil
+	})
 	if err != nil {
-		return energy.Breakdown{}, err
+		return nil, err
 	}
-	return energy.Table3().Aggregate(res.Counters, tw.Ops(), ccfg.Org, cfg.DRAM.BanksPerRank), nil
+	out := make(map[core.Org]energy.Breakdown, len(orgs))
+	for i, org := range orgs {
+		out[org] = bds[i]
+	}
+	return out, nil
 }
 
 // AreaReport reproduces the §6.2/§7.1 storage figures.
@@ -398,36 +490,39 @@ func Table1(s Scale) ([]Table1Row, error) {
 		return nil, err
 	}
 	defs := []string{"CRA", "CBT-256", "PARA-0.001", "PRoHIT", "TWiCe"}
-	rows := make([]Table1Row, 0, len(defs))
+	patterns := []struct {
+		name  string
+		build func() (workload.Workload, error)
+	}{
+		{"mix-high", func() (workload.Workload, error) { return workload.MixHigh(s.Cores, memBytes, s.Seed) }},
+		{"adversarial-S1", func() (workload.Workload, error) { return workload.S1(amap, cfg.DRAM, s.Seed), nil }},
+		{"adversarial-S2", func() (workload.Workload, error) { return workload.S2(amap, cfg.DRAM, s.CBTThreshold), nil }},
+		{"adversarial-S3", func() (workload.Workload, error) { return workload.S3(amap, cfg.DRAM, 5000), nil }},
+	}
+	// One flat grid: every defense under the typical mix and all three
+	// adversarial patterns, reassembled into rows afterwards.
+	var jobs []cellJob
 	for _, dname := range defs {
-		typical, err := workload.MixHigh(s.Cores, memBytes, s.Seed)
-		if err != nil {
-			return nil, err
+		for _, p := range patterns {
+			jobs = append(jobs, cellJob{wname: p.name, build: p.build, dname: dname})
 		}
-		tc, err := s.runCell("mix-high", typical, dname)
-		if err != nil {
-			return nil, err
-		}
+	}
+	results, err := s.runGrid(jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table1Row, 0, len(defs))
+	for d, dname := range defs {
+		cells := results[d*len(patterns) : (d+1)*len(patterns)]
 		worst := 0.0
-		for _, adv := range []struct {
-			name  string
-			build func() workload.Workload
-		}{
-			{"adversarial-S1", func() workload.Workload { return workload.S1(amap, cfg.DRAM, s.Seed) }},
-			{"adversarial-S2", func() workload.Workload { return workload.S2(amap, cfg.DRAM, s.CBTThreshold) }},
-			{"adversarial-S3", func() workload.Workload { return workload.S3(amap, cfg.DRAM, 5000) }},
-		} {
-			c, err := s.runCell(adv.name, adv.build(), dname)
-			if err != nil {
-				return nil, err
-			}
+		for _, c := range cells[1:] {
 			if c.Ratio > worst {
 				worst = c.Ratio
 			}
 		}
 		rows = append(rows, Table1Row{
 			Defense:          dname,
-			TypicalRatio:     tc.Ratio,
+			TypicalRatio:     cells[0].Ratio,
 			AdversarialRatio: worst,
 			Detects:          dname != "PARA-0.001" && dname != "PRoHIT",
 		})

@@ -22,6 +22,20 @@ func goBad(f *os.File) {
 	go f.Sync() // want droppederr "spawned call to (*os.File).Sync discards its error result"
 }
 
+func goLiteralBad(path string) {
+	// Worker-pool idiom: the goroutine body is a function literal; drops
+	// inside it are plain statement drops at their own line.
+	go func() {
+		os.Remove(path) // want droppederr "call to os.Remove discards its error result"
+	}()
+}
+
+func goLiteralGood(path string, errs chan<- error) {
+	go func() {
+		errs <- os.Remove(path) // routing the error to a channel handles it
+	}()
+}
+
 func printGood(sb *strings.Builder) {
 	fmt.Println("ok")    // fmt.Print* to the std streams is exempt
 	sb.WriteString("ok") // strings.Builder writes never fail

@@ -6,10 +6,10 @@ package mc
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/clock"
 	"repro/internal/defense"
-	"repro/internal/detutil"
 	"repro/internal/dram"
 	"repro/internal/rcd"
 	"repro/internal/stats"
@@ -100,7 +100,22 @@ type channel struct {
 	refreshDue []clock.Time // per rank
 	coreRank   map[int]int  // PAR-BS thread ranking for the current batch
 	wake       clock.Time
+
+	// Per-step scratch, reused across the event loop's per-tREFI refresh
+	// and scheduling scans so the hot path stays allocation-free.
+	refreshScratch []bool     // per rank: refresh due and not postponed
+	hitScratch     []bool     // per bank: some queued request hits the open row
+	preScratch     []bool     // per bank: a conflicting PRE already planned
+	drainScratch   []*Request // scheduling pool when writes join the reads
+
+	// PAR-BS batch-formation scratch (cleared and refilled per batch).
+	batchSlot  map[batchSlot]int // marked requests per (core, rank, bank)
+	batchLoad  map[int]int       // marked requests per core
+	batchCores []int             // cores sorted by marked load
 }
+
+// batchSlot keys the PAR-BS per-(core, bank) marking cap.
+type batchSlot struct{ core, rank, bank int }
 
 // System is the full memory controller population plus the DRAM device,
 // timing checker, and RCD-hosted defense it drives.
@@ -112,6 +127,16 @@ type System struct {
 	cnt   *stats.Counters
 	chans []*channel
 	ids   int64
+	// nextWake caches the minimum of the channels' wake times so the event
+	// loop's NextEvent poll is O(1) instead of a per-iteration rescan of
+	// every channel. It is maintained by Enqueue (a new request can only
+	// pull the wake time earlier) and recomputed by Advance in the same
+	// pass that steps the channels.
+	nextWake clock.Time
+	// release, when set, receives every request after its completion
+	// callback has run, letting the submitter pool and reuse request
+	// objects. The system never touches a request after releasing it.
+	release func(*Request)
 	// detectionsByCore attributes defense detections to the core whose
 	// activation triggered them — the paper's "penalize malicious users"
 	// capability (§1) that only counter-based schemes provide.
@@ -134,12 +159,18 @@ func New(cfg Config, dev *dram.Device, r *rcd.RCD, cnt *stats.Counters) (*System
 		detectionsByCore: map[int]int64{},
 	}
 	for c := range s.chans {
+		nbanks := cfg.DRAM.RanksPerChannel * cfg.DRAM.BanksPerRank
 		ch := &channel{
-			sys:        s,
-			idx:        c,
-			banks:      make([]bankCtl, cfg.DRAM.RanksPerChannel*cfg.DRAM.BanksPerRank),
-			refreshDue: make([]clock.Time, cfg.DRAM.RanksPerChannel),
-			coreRank:   map[int]int{},
+			sys:            s,
+			idx:            c,
+			banks:          make([]bankCtl, nbanks),
+			refreshDue:     make([]clock.Time, cfg.DRAM.RanksPerChannel),
+			coreRank:       map[int]int{},
+			refreshScratch: make([]bool, cfg.DRAM.RanksPerChannel),
+			hitScratch:     make([]bool, nbanks),
+			preScratch:     make([]bool, nbanks),
+			batchSlot:      map[batchSlot]int{},
+			batchLoad:      map[int]int{},
 		}
 		for b := range ch.banks {
 			ch.banks[b].open = -1
@@ -157,8 +188,17 @@ func New(cfg Config, dev *dram.Device, r *rcd.RCD, cnt *stats.Counters) (*System
 		}
 		s.chans[c] = ch
 	}
+	s.nextWake = clock.Never
+	for _, ch := range s.chans {
+		s.nextWake = clock.Min(s.nextWake, ch.wake)
+	}
 	return s, nil
 }
+
+// SetRelease installs a recycling hook: fn receives each request once its
+// completion callback has returned and the system holds no further reference
+// to it. Pass nil to disable pooling (the default).
+func (s *System) SetRelease(fn func(*Request)) { s.release = fn }
 
 // Config returns the controller configuration.
 func (s *System) Config() Config { return s.cfg }
@@ -202,6 +242,7 @@ func (s *System) Enqueue(req *Request, now clock.Time) bool {
 		req.Arrival = now
 		ch.wqueue = append(ch.wqueue, req)
 		ch.wake = clock.Min(ch.wake, now)
+		s.nextWake = clock.Min(s.nextWake, ch.wake)
 		return true
 	}
 	if len(ch.queue) >= s.cfg.QueueDepth {
@@ -210,28 +251,31 @@ func (s *System) Enqueue(req *Request, now clock.Time) bool {
 	req.Arrival = now
 	ch.queue = append(ch.queue, req)
 	ch.wake = clock.Min(ch.wake, now)
+	s.nextWake = clock.Min(s.nextWake, ch.wake)
 	return true
 }
 
 // WriteQueueLen returns the channel's write-buffer occupancy.
 func (s *System) WriteQueueLen(channelIdx int) int { return len(s.chans[channelIdx].wqueue) }
 
-// NextEvent returns the earliest time any channel has work to do.
+// NextEvent returns the earliest time any channel has work to do. The value
+// is cached (see System.nextWake), so polling it every event-loop iteration
+// is free.
 func (s *System) NextEvent() clock.Time {
-	next := clock.Never
-	for _, ch := range s.chans {
-		next = clock.Min(next, ch.wake)
-	}
-	return next
+	return s.nextWake
 }
 
-// Advance drives every channel up to and including time now.
+// Advance drives every channel up to and including time now, refreshing the
+// cached next-event time in the same pass.
 func (s *System) Advance(now clock.Time) {
+	next := clock.Never
 	for _, ch := range s.chans {
 		for ch.wake <= now {
 			ch.wake = ch.step(now)
 		}
+		next = clock.Min(next, ch.wake)
 	}
+	s.nextWake = next
 }
 
 func (ch *channel) bankID(rank, bank int) dram.BankID {
@@ -242,12 +286,30 @@ func (ch *channel) bank(rank, bank int) *bankCtl {
 	return &ch.banks[rank*ch.sys.cfg.DRAM.BanksPerRank+bank]
 }
 
+// op is a command opcode for a scheduling candidate. Candidates carry an
+// opcode plus operands instead of a ready-to-run closure: scheduleDemand
+// emits a candidate per queued request per step, so closure allocation here
+// would dominate the event loop (it was ~97% of a run's allocations).
+type op int8
+
+const (
+	opNone op = iota
+	opPRE     // precharge bank (rank, bank)
+	opREF     // auto-refresh rank (rank)
+	opARR     // adjacent-row refresh on bank (rank, bank)
+	opMit     // one unit of mitigation debt on bank (rank, bank)
+	opACT     // activate req's row (req)
+	opColumn  // column access for req (req)
+)
+
 // candidate is one issuable (or future) command.
 type candidate struct {
-	t     clock.Time
-	class int   // 0 refresh, 1 ARR, 2 mitigation, 3 demand
-	seq   int64 // tie-break within class (scheduler order for demand)
-	run   func(t clock.Time)
+	t          clock.Time
+	class      int   // 0 refresh, 1 ARR, 2 mitigation, 3 demand
+	seq        int64 // tie-break within class (scheduler order for demand)
+	op         op
+	rank, bank int
+	req        *Request
 }
 
 // step issues at most one DRAM command for the channel at time now,
@@ -264,12 +326,15 @@ func (ch *channel) step(now clock.Time) clock.Time {
 		if c.t > now {
 			return
 		}
-		if best.run == nil || c.class < best.class || (c.class == best.class && c.seq < best.seq) {
+		if best.op == opNone || c.class < best.class || (c.class == best.class && c.seq < best.seq) {
 			best = c
 		}
 	}
 
-	refreshPending := make([]bool, p.RanksPerChannel)
+	refreshPending := ch.refreshScratch
+	for i := range refreshPending {
+		refreshPending[i] = false
+	}
 	for rk := 0; rk < p.RanksPerChannel; rk++ {
 		due := ch.refreshDue[rk]
 		if now < due {
@@ -293,12 +358,12 @@ func (ch *channel) step(now clock.Time) clock.Time {
 			if ch.bank(rk, ba).open >= 0 {
 				allClosed = false
 				id := ch.bankID(rk, ba)
-				consider(candidate{t: s.chk.EarliestPRE(id, now), class: 0, run: ch.runPRE(rk, ba)})
+				consider(candidate{t: s.chk.EarliestPRE(id, now), class: 0, op: opPRE, rank: rk, bank: ba})
 			}
 		}
 		if allClosed {
 			t := s.chk.EarliestREF(rankID, now)
-			consider(candidate{t: t, class: 0, run: ch.runREF(rk)})
+			consider(candidate{t: t, class: 0, op: opREF, rank: rk})
 		}
 	}
 
@@ -318,22 +383,22 @@ func (ch *channel) step(now clock.Time) clock.Time {
 					if hasARR {
 						class = 1
 					}
-					consider(candidate{t: s.chk.EarliestPRE(id, now), class: class, run: ch.runPRE(rk, ba)})
+					consider(candidate{t: s.chk.EarliestPRE(id, now), class: class, op: opPRE, rank: rk, bank: ba})
 				}
 				continue
 			}
 			if hasARR {
-				consider(candidate{t: s.chk.EarliestARR(id, now), class: 1, run: ch.runARR(rk, ba)})
+				consider(candidate{t: s.chk.EarliestARR(id, now), class: 1, op: opARR, rank: rk, bank: ba})
 				continue
 			}
-			consider(candidate{t: s.chk.EarliestACT(id, now), class: 2, run: ch.runMit(rk, ba)})
+			consider(candidate{t: s.chk.EarliestACT(id, now), class: 2, op: opMit, rank: rk, bank: ba})
 		}
 	}
 
 	ch.scheduleDemand(now, refreshPending, consider)
 
-	if best.run != nil {
-		best.run(best.t)
+	if best.op != opNone {
+		ch.exec(best)
 		return now // more work may be issuable at the same instant
 	}
 	if earliest <= now {
@@ -398,17 +463,20 @@ func (ch *channel) drainSet() []*Request {
 		for _, q := range ch.wqueue {
 			if ch.bank(q.Addr.Rank, q.Addr.Bank).open == q.Addr.Row {
 				if !copied {
-					out = append([]*Request(nil), ch.queue...)
+					out = append(ch.drainScratch[:0], ch.queue...)
 					copied = true
 				}
 				out = append(out, q)
 			}
 		}
+		if copied {
+			ch.drainScratch = out[:0] // keep the grown capacity for reuse
+		}
 		return out
 	}
-	out := make([]*Request, 0, len(ch.queue)+len(ch.wqueue))
-	out = append(out, ch.queue...)
+	out := append(ch.drainScratch[:0], ch.queue...)
 	out = append(out, ch.wqueue...)
+	ch.drainScratch = out[:0]
 	return out
 }
 
@@ -420,16 +488,22 @@ func (ch *channel) scheduleDemand(now clock.Time, refreshPending []bool, conside
 	}
 	pool := ch.drainSet()
 	// A bank's conflicting PRE is only allowed when no queued request hits
-	// the open row; precompute per-bank hit presence.
-	type bankKey struct{ rank, bank int }
-	hits := map[bankKey]bool{}
+	// the open row; precompute per-bank hit presence. The per-bank scratch
+	// slices are channel-owned and reused every step — the scans here run
+	// once per issued DRAM command, so map allocation would dominate the
+	// event loop.
+	banksPerRank := s.cfg.DRAM.BanksPerRank
+	hits, prePlanned := ch.hitScratch, ch.preScratch
+	for i := range hits {
+		hits[i] = false
+		prePlanned[i] = false
+	}
 	for _, q := range pool {
 		b := ch.bank(q.Addr.Rank, q.Addr.Bank)
 		if b.open == q.Addr.Row {
-			hits[bankKey{q.Addr.Rank, q.Addr.Bank}] = true
+			hits[q.Addr.Rank*banksPerRank+q.Addr.Bank] = true
 		}
 	}
-	prePlanned := map[bankKey]bool{}
 	for i, q := range pool {
 		if refreshPending[q.Addr.Rank] {
 			continue // drain the rank for refresh
@@ -442,15 +516,15 @@ func (ch *channel) scheduleDemand(now clock.Time, refreshPending []bool, conside
 		if b.open != q.Addr.Row && (s.rcd.HasPendingARR(id) || len(b.mit) > 0) {
 			continue
 		}
-		key := bankKey{q.Addr.Rank, q.Addr.Bank}
+		key := q.Addr.Rank*banksPerRank + q.Addr.Bank
 		switch {
 		case b.open == q.Addr.Row:
 			t := s.chk.EarliestColumn(id, now)
-			consider(candidate{t: t, class: 3, seq: ch.demandSeq(q, true, i), run: ch.runColumn(q)})
+			consider(candidate{t: t, class: 3, seq: ch.demandSeq(q, true, i), op: opColumn, req: q})
 		case b.open < 0:
 			t := s.chk.EarliestACT(id, now)
 			ch.countNack(q, id, now)
-			consider(candidate{t: t, class: 3, seq: ch.demandSeq(q, false, i), run: ch.runACT(q)})
+			consider(candidate{t: t, class: 3, seq: ch.demandSeq(q, false, i), op: opACT, req: q})
 		default:
 			if hits[key] || prePlanned[key] {
 				continue // other requests still hit the open row
@@ -458,7 +532,7 @@ func (ch *channel) scheduleDemand(now clock.Time, refreshPending []bool, conside
 			prePlanned[key] = true
 			t := s.chk.EarliestPRE(id, now)
 			q.neededPRE = true
-			consider(candidate{t: t, class: 3, seq: ch.demandSeq(q, false, i), run: ch.runPRE(q.Addr.Rank, q.Addr.Bank)})
+			consider(candidate{t: t, class: 3, seq: ch.demandSeq(q, false, i), op: opPRE, rank: q.Addr.Rank, bank: q.Addr.Bank})
 		}
 	}
 }
@@ -505,26 +579,34 @@ func (ch *channel) refreshBatch() {
 	if len(ch.queue) == 0 {
 		return
 	}
-	type slot struct{ core, rank, bank int }
-	perSlot := map[slot]int{}
-	load := map[int]int{}
+	perSlot, load := ch.batchSlot, ch.batchLoad
+	clear(perSlot)
+	clear(load)
 	for _, q := range ch.queue {
-		k := slot{q.Core, q.Addr.Rank, q.Addr.Bank}
+		k := batchSlot{q.Core, q.Addr.Rank, q.Addr.Bank}
 		if perSlot[k] < ch.sys.cfg.BatchCap {
 			perSlot[k]++
 			q.marked = true
 			load[q.Core]++
 		}
 	}
-	// Rank cores by marked load ascending (shortest job first).
-	cores := detutil.SortedKeys(load)
+	// Rank cores by marked load ascending (shortest job first). The core
+	// list is sorted into channel-owned scratch: batch formation runs once
+	// per drained batch, but on short queues that is often enough for
+	// per-batch map and slice allocation to show up in profiles.
+	cores := ch.batchCores[:0]
+	for c := range load { //twicelint:ordered keys are sorted before use below
+		cores = append(cores, c)
+	}
+	slices.Sort(cores)
+	ch.batchCores = cores
 	for i := 1; i < len(cores); i++ { // insertion sort: tiny n
 		for j := i; j > 0 && (load[cores[j]] < load[cores[j-1]] ||
 			(load[cores[j]] == load[cores[j-1]] && cores[j] < cores[j-1])); j-- {
 			cores[j], cores[j-1] = cores[j-1], cores[j]
 		}
 	}
-	ch.coreRank = make(map[int]int, len(cores))
+	clear(ch.coreRank)
 	for rank, c := range cores {
 		ch.coreRank[c] = rank
 	}
@@ -532,84 +614,92 @@ func (ch *channel) refreshBatch() {
 
 // ---- command execution ----
 
-func (ch *channel) runPRE(rk, ba int) func(clock.Time) {
-	return func(t clock.Time) {
-		s := ch.sys
-		id := ch.bankID(rk, ba)
-		must(s.chk.RecordPRE(id, t))
-		s.dev.Bank(id).Precharge()
-		b := ch.bank(rk, ba)
-		b.open = -1
-		b.hits = 0
-		s.cnt.Precharges++
+// exec dispatches a selected candidate at its issue time.
+func (ch *channel) exec(c candidate) {
+	switch c.op {
+	case opPRE:
+		ch.doPRE(c.rank, c.bank, c.t)
+	case opREF:
+		ch.doREF(c.rank, c.t)
+	case opARR:
+		ch.doARR(c.rank, c.bank, c.t)
+	case opMit:
+		ch.doMit(c.rank, c.bank, c.t)
+	case opACT:
+		ch.doACT(c.req, c.t)
+	case opColumn:
+		ch.doColumn(c.req, c.t)
 	}
 }
 
-func (ch *channel) runREF(rk int) func(clock.Time) {
-	return func(t clock.Time) {
-		s := ch.sys
-		rankID := dram.RankID{Channel: ch.idx, Rank: rk}
-		must(s.chk.RecordREF(rankID, t))
-		for ba := 0; ba < s.cfg.DRAM.BanksPerRank; ba++ {
-			must(s.dev.Bank(ch.bankID(rk, ba)).AutoRefresh(t))
-		}
-		s.rcd.ObserveRefresh(rankID, t)
-		s.cnt.Refreshes++
-		ch.refreshDue[rk] += s.cfg.DRAM.TREFI
-	}
+func (ch *channel) doPRE(rk, ba int, t clock.Time) {
+	s := ch.sys
+	id := ch.bankID(rk, ba)
+	must(s.chk.RecordPRE(id, t))
+	s.dev.Bank(id).Precharge()
+	b := ch.bank(rk, ba)
+	b.open = -1
+	b.hits = 0
+	s.cnt.Precharges++
 }
 
-func (ch *channel) runARR(rk, ba int) func(clock.Time) {
-	return func(t clock.Time) {
-		s := ch.sys
-		id := ch.bankID(rk, ba)
-		row, ok := s.rcd.TakeARR(id)
-		if !ok {
-			return
-		}
-		must(s.chk.RecordARR(id, t))
-		n, err := s.dev.Bank(id).AdjacentRowRefresh(row, t)
-		must(err)
-		s.cnt.ARRs++
-		s.cnt.DefenseACTs += int64(n)
+func (ch *channel) doREF(rk int, t clock.Time) {
+	s := ch.sys
+	rankID := dram.RankID{Channel: ch.idx, Rank: rk}
+	must(s.chk.RecordREF(rankID, t))
+	for ba := 0; ba < s.cfg.DRAM.BanksPerRank; ba++ {
+		must(s.dev.Bank(ch.bankID(rk, ba)).AutoRefresh(t))
 	}
+	s.rcd.ObserveRefresh(rankID, t)
+	s.cnt.Refreshes++
+	ch.refreshDue[rk] += s.cfg.DRAM.TREFI
 }
 
-func (ch *channel) runMit(rk, ba int) func(clock.Time) {
-	return func(t clock.Time) {
-		s := ch.sys
-		id := ch.bankID(rk, ba)
-		b := ch.bank(rk, ba)
-		if len(b.mit) == 0 {
-			return
-		}
-		op := b.mit[0]
-		b.mit = b.mit[1:]
-		must(s.chk.RecordACT(id, t))
-		preAt := s.chk.EarliestPRE(id, t)
-		must(s.chk.RecordPRE(id, preAt))
-		if op.deviceRefresh {
-			bank := s.dev.Bank(id)
-			must(bank.Activate(op.row, t))
-			bank.Precharge()
-		}
-		s.cnt.DefenseACTs++
+func (ch *channel) doARR(rk, ba int, t clock.Time) {
+	s := ch.sys
+	id := ch.bankID(rk, ba)
+	row, ok := s.rcd.TakeARR(id)
+	if !ok {
+		return
 	}
+	must(s.chk.RecordARR(id, t))
+	n, err := s.dev.Bank(id).AdjacentRowRefresh(row, t)
+	must(err)
+	s.cnt.ARRs++
+	s.cnt.DefenseACTs += int64(n)
 }
 
-func (ch *channel) runACT(q *Request) func(clock.Time) {
-	return func(t clock.Time) {
-		s := ch.sys
-		id := q.Addr.BankID()
-		must(s.chk.RecordACT(id, t))
-		must(s.dev.Bank(id).Activate(q.Addr.Row, t))
-		b := ch.bank(q.Addr.Rank, q.Addr.Bank)
-		b.open = q.Addr.Row
-		b.hits = 0
-		q.neededACT = true
-		s.cnt.NormalACTs++
-		ch.applyAction(id, q.Core, s.rcd.ObserveACT(id, q.Addr.Row, t))
+func (ch *channel) doMit(rk, ba int, t clock.Time) {
+	s := ch.sys
+	id := ch.bankID(rk, ba)
+	b := ch.bank(rk, ba)
+	if len(b.mit) == 0 {
+		return
 	}
+	op := b.mit[0]
+	b.mit = b.mit[1:]
+	must(s.chk.RecordACT(id, t))
+	preAt := s.chk.EarliestPRE(id, t)
+	must(s.chk.RecordPRE(id, preAt))
+	if op.deviceRefresh {
+		bank := s.dev.Bank(id)
+		must(bank.Activate(op.row, t))
+		bank.Precharge()
+	}
+	s.cnt.DefenseACTs++
+}
+
+func (ch *channel) doACT(q *Request, t clock.Time) {
+	s := ch.sys
+	id := q.Addr.BankID()
+	must(s.chk.RecordACT(id, t))
+	must(s.dev.Bank(id).Activate(q.Addr.Row, t))
+	b := ch.bank(q.Addr.Rank, q.Addr.Bank)
+	b.open = q.Addr.Row
+	b.hits = 0
+	q.neededACT = true
+	s.cnt.NormalACTs++
+	ch.applyAction(id, q.Core, s.rcd.ObserveACT(id, q.Addr.Row, t))
 }
 
 // applyAction queues the mitigation work a defense requested, attributing
@@ -631,49 +721,50 @@ func (ch *channel) applyAction(id dram.BankID, core int, a defense.Action) {
 	}
 }
 
-func (ch *channel) runColumn(q *Request) func(clock.Time) {
-	return func(t clock.Time) {
-		s := ch.sys
-		id := q.Addr.BankID()
-		var done clock.Time
-		var err error
-		if q.Write {
-			done, err = s.chk.RecordWrite(id, t)
-			s.cnt.Writes++
-		} else {
-			done, err = s.chk.RecordRead(id, t)
-			s.cnt.Reads++
-		}
-		must(err)
-		switch {
-		case !q.neededACT:
-			s.cnt.RowHits++
-		case q.neededPRE:
-			s.cnt.RowConflicts++
-		default:
-			s.cnt.RowMisses++
-		}
-		ch.removeRequest(q)
-		b := ch.bank(q.Addr.Rank, q.Addr.Bank)
-		b.hits++
-		closeNow := s.cfg.PagePolicy == ClosedPage ||
-			(s.cfg.PagePolicy == MinimalistOpen && b.hits >= s.cfg.MaxRowHits)
-		if closeNow {
-			preAt := s.chk.EarliestPRE(id, t)
-			must(s.chk.RecordPRE(id, preAt))
-			s.dev.Bank(id).Precharge()
-			b.open = -1
-			b.hits = 0
-			s.cnt.Precharges++
-		}
-		completion := done
-		if q.Write {
-			completion = t // posted write: the issuer does not wait
-		}
-		s.cnt.AddLatency(completion - q.Arrival)
-		if q.Done != nil {
-			q.Done(completion)
-		}
+func (ch *channel) doColumn(q *Request, t clock.Time) {
+	s := ch.sys
+	id := q.Addr.BankID()
+	var done clock.Time
+	var err error
+	if q.Write {
+		done, err = s.chk.RecordWrite(id, t)
+		s.cnt.Writes++
+	} else {
+		done, err = s.chk.RecordRead(id, t)
+		s.cnt.Reads++
+	}
+	must(err)
+	switch {
+	case !q.neededACT:
+		s.cnt.RowHits++
+	case q.neededPRE:
+		s.cnt.RowConflicts++
+	default:
+		s.cnt.RowMisses++
+	}
+	ch.removeRequest(q)
+	b := ch.bank(q.Addr.Rank, q.Addr.Bank)
+	b.hits++
+	closeNow := s.cfg.PagePolicy == ClosedPage ||
+		(s.cfg.PagePolicy == MinimalistOpen && b.hits >= s.cfg.MaxRowHits)
+	if closeNow {
+		preAt := s.chk.EarliestPRE(id, t)
+		must(s.chk.RecordPRE(id, preAt))
+		s.dev.Bank(id).Precharge()
+		b.open = -1
+		b.hits = 0
+		s.cnt.Precharges++
+	}
+	completion := done
+	if q.Write {
+		completion = t // posted write: the issuer does not wait
+	}
+	s.cnt.AddLatency(completion - q.Arrival)
+	if q.Done != nil {
+		q.Done(completion)
+	}
+	if s.release != nil {
+		s.release(q) // q must not be touched past this point
 	}
 }
 

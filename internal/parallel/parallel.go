@@ -1,0 +1,116 @@
+// Package parallel provides the bounded-worker execution engine behind the
+// experiment layer: independent (workload, defense) simulation cells fan out
+// across cores while the results — and any error — stay bit-for-bit
+// identical to serial execution.
+//
+// Determinism falls out of two properties:
+//
+//   - Results are assembled by index. Each job writes only its own slot of a
+//     caller-owned slice, so output ordering never depends on scheduling.
+//   - Errors are selected by index. Jobs are dispatched in increasing index
+//     order from a single atomic counter, so by the time job k starts, every
+//     job i < k has already started and will run to completion. The reported
+//     error is therefore always the one the lowest-indexed failing job
+//     produced — exactly the error a serial loop would have returned.
+//
+// Cancellation is first-error-wins: once any job fails, no new jobs are
+// dispatched; in-flight jobs finish normally (simulation cells have no
+// external effects to interrupt) and the pool drains cleanly.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Runner executes indexed jobs on a bounded worker pool.
+type Runner struct {
+	// Workers is the pool size. 0 (the zero value) means
+	// runtime.GOMAXPROCS(0); 1 forces serial execution on the calling
+	// goroutine, which spawns nothing and is the byte-identical baseline
+	// the equivalence tests compare against.
+	Workers int
+}
+
+// workers resolves the effective pool size for n jobs.
+func (r Runner) workers(n int) int {
+	w := r.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// Do runs job(0) … job(n-1) on the pool and returns the error of the
+// lowest-indexed failing job, or nil. After a failure no new jobs start;
+// jobs already running complete before Do returns, so the caller may reuse
+// or discard shared inputs immediately.
+func (r Runner) Do(n int, job func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := r.workers(n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next     atomic.Int64 // next job index to dispatch, minus one
+		stop     atomic.Bool  // set on first failure: stop dispatching
+		mu       sync.Mutex   // guards firstIdx/firstErr
+		firstIdx = n
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n || stop.Load() {
+					return
+				}
+				if err := job(i); err != nil {
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					stop.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Map runs fn for indices 0 … n-1 on a pool of the given size (0 =
+// GOMAXPROCS, 1 = serial) and returns the results in index order. On error
+// the results are discarded and the lowest-indexed failure is returned.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := Runner{Workers: workers}.Do(n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

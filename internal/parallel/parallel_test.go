@@ -1,0 +1,123 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		got, err := Map(workers, 20, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestDoEmptyAndSingle(t *testing.T) {
+	if err := (Runner{}).Do(0, func(int) error { t.Fatal("job ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	if err := (Runner{Workers: 8}).Do(1, func(int) error { ran++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Fatalf("single job ran %d times", ran)
+	}
+}
+
+// TestFirstErrorWinsIsDeterministic makes several jobs fail and requires the
+// reported error to always be the lowest-indexed one — the error a serial
+// loop would return — regardless of worker count or scheduling.
+func TestFirstErrorWinsIsDeterministic(t *testing.T) {
+	failAt := map[int]bool{3: true, 11: true, 17: true}
+	for _, workers := range []int{1, 2, 4, 16} {
+		for rep := 0; rep < 20; rep++ {
+			err := Runner{Workers: workers}.Do(24, func(i int) error {
+				if failAt[i] {
+					return fmt.Errorf("cell %d failed", i)
+				}
+				return nil
+			})
+			if err == nil || err.Error() != "cell 3 failed" {
+				t.Fatalf("workers=%d rep=%d: err = %v, want cell 3's", workers, rep, err)
+			}
+		}
+	}
+}
+
+// TestCancellationStopsDispatch checks that after a failure the pool stops
+// handing out new work: with a serial runner, jobs after the failing index
+// must never run.
+func TestCancellationStopsDispatch(t *testing.T) {
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	err := Runner{Workers: 1}.Do(100, func(i int) error {
+		ran.Add(1)
+		if i == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := ran.Load(); got != 6 {
+		t.Fatalf("serial runner ran %d jobs after failure at index 5, want 6", got)
+	}
+
+	// Concurrent pool: everything that runs finishes, and well under all
+	// 10000 jobs are dispatched after an immediate failure.
+	ran.Store(0)
+	err = Runner{Workers: 4}.Do(10000, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := ran.Load(); got == 10000 {
+		t.Fatalf("cancellation did not stop dispatch (all %d jobs ran)", got)
+	}
+}
+
+// TestMapConcurrentWritesAreDisjoint hammers a larger grid under the race
+// detector (verify.sh runs this package with -race): every job writes its
+// own slot only.
+func TestMapConcurrentWritesAreDisjoint(t *testing.T) {
+	const n = 5000
+	got, err := Map(8, n, func(i int) (int64, error) { return int64(i) + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, v := range got {
+		sum += v
+	}
+	if want := int64(n) * (n + 1) / 2; sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if got := (Runner{Workers: 8}).workers(3); got != 3 {
+		t.Errorf("workers capped at job count: got %d, want 3", got)
+	}
+	if got := (Runner{Workers: -1}).workers(100); got < 1 {
+		t.Errorf("negative Workers resolved to %d", got)
+	}
+	if got := (Runner{Workers: 2}).workers(100); got != 2 {
+		t.Errorf("explicit Workers ignored: got %d, want 2", got)
+	}
+}

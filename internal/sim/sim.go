@@ -110,6 +110,19 @@ type Machine struct {
 	hier  *cache.Hierarchy
 	cores []*cpu.Core
 	cnt   *stats.Counters
+
+	// served counts completed memory requests against Limits.MaxRequests.
+	served int64
+	// free pools completed requests for reuse: the controller hands each
+	// request back (mc.System.SetRelease) once its completion callback has
+	// run, so steady state allocates no request objects at all. The pool
+	// is bounded by the number of requests in flight.
+	free []*mc.Request
+	// demandDone/bestEffortDone are the completion callbacks, built once
+	// per machine instead of once per request: the demand closure per core
+	// (it must credit the issuing core), the best-effort one shared.
+	demandDone     []func(clock.Time)
+	bestEffortDone func(clock.Time)
 }
 
 // NewMachine assembles a machine running the workload under the defense.
@@ -157,7 +170,41 @@ func NewMachine(cfg Config, def defense.Defense, w workload.Workload) (*Machine,
 			return nil, err
 		}
 	}
+	m.bestEffortDone = func(clock.Time) { m.served++ }
+	m.demandDone = make([]func(clock.Time), len(m.cores))
+	for i := range m.cores {
+		c := m.cores[i]
+		m.demandDone[i] = func(clock.Time) {
+			c.OnComplete()
+			m.served++
+		}
+	}
+	sys.SetRelease(m.release)
 	return m, nil
+}
+
+// release returns a completed request to the pool for reuse.
+func (m *Machine) release(r *mc.Request) {
+	r.Done = nil
+	m.free = append(m.free, r)
+}
+
+// newRequest builds (or recycles) a request for the submit paths.
+func (m *Machine) newRequest(addr uint64, write bool, core int, done func(clock.Time)) *mc.Request {
+	var req *mc.Request
+	if n := len(m.free); n > 0 {
+		req = m.free[n-1]
+		m.free = m.free[:n-1]
+		*req = mc.Request{}
+	} else {
+		req = &mc.Request{}
+	}
+	req.ID = m.sys.NewID()
+	req.Addr = m.amap.Decompose(addr)
+	req.Write = write
+	req.Core = core
+	req.Done = done
+	return req
 }
 
 // Counters exposes the live counters (reports read them after Run).
@@ -184,15 +231,15 @@ func (m *Machine) Run(lim Limits) (*Result, error) {
 		lim.MaxRequests = 1<<62 - 1
 	}
 
-	var served int64
+	m.served = 0
 	now := clock.Time(0)
-	for served < lim.MaxRequests && now < lim.MaxTime {
+	for m.served < lim.MaxRequests && now < lim.MaxTime {
 		next := m.sys.NextEvent()
 		for _, c := range m.cores {
 			next = clock.Min(next, c.NextEventTime())
 		}
 		if next == clock.Never {
-			return nil, fmt.Errorf("sim: deadlock at %v (served %d)", now, served)
+			return nil, fmt.Errorf("sim: deadlock at %v (served %d)", now, m.served)
 		}
 		now = next
 		if now >= lim.MaxTime {
@@ -201,7 +248,7 @@ func (m *Machine) Run(lim Limits) (*Result, error) {
 		m.sys.Advance(now)
 		for _, c := range m.cores {
 			if c.NextEventTime() <= now {
-				m.coreStep(c, now, &served)
+				m.coreStep(c, now)
 			}
 		}
 	}
@@ -238,12 +285,12 @@ func (m *Machine) Run(lim Limits) (*Result, error) {
 }
 
 // coreStep advances one core by one access.
-func (m *Machine) coreStep(c *cpu.Core, now clock.Time, served *int64) {
+func (m *Machine) coreStep(c *cpu.Core, now clock.Time) {
 	a := c.Take(now)
 	addr := a.Addr &^ 63
 
 	if m.w.BypassCache {
-		m.submit(c, addr, a.Write, now, served)
+		m.submit(c, addr, a.Write, now)
 		return
 	}
 
@@ -257,29 +304,21 @@ func (m *Machine) coreStep(c *cpu.Core, now clock.Time, served *int64) {
 	for _, ma := range res.Mem {
 		switch {
 		case ma.Demand:
-			m.submit(c, ma.Addr, false, now, served)
+			m.submit(c, ma.Addr, false, now)
 		case ma.Prefetch:
-			m.submitBestEffort(c.ID, ma.Addr, false, now, served)
+			m.submitBestEffort(c.ID, ma.Addr, false, now)
 		default: // writeback or non-blocking fill
-			m.submitBestEffort(c.ID, ma.Addr, ma.Write, now, served)
+			m.submitBestEffort(c.ID, ma.Addr, ma.Write, now)
 		}
 	}
 }
 
 // submit enqueues a demand access, deferring the core when the queue is
 // full.
-func (m *Machine) submit(c *cpu.Core, addr uint64, write bool, now clock.Time, served *int64) {
-	req := &mc.Request{
-		ID:    m.sys.NewID(),
-		Addr:  m.amap.Decompose(addr),
-		Write: write,
-		Core:  c.ID,
-	}
-	req.Done = func(clock.Time) {
-		c.OnComplete()
-		*served++
-	}
+func (m *Machine) submit(c *cpu.Core, addr uint64, write bool, now clock.Time) {
+	req := m.newRequest(addr, write, c.ID, m.demandDone[c.ID])
 	if !m.sys.Enqueue(req, now) {
+		m.release(req)
 		c.Defer(workload.Access{Addr: addr, Write: write, Gap: 1}, now+retryDelay)
 		return
 	}
@@ -290,15 +329,11 @@ func (m *Machine) submit(c *cpu.Core, addr uint64, write bool, now clock.Time, s
 // prefetches); when the queue is full the access is dropped, which is what
 // real prefetchers do and is harmless for write data in a reliability model.
 // Completions still count toward the run's request budget.
-func (m *Machine) submitBestEffort(coreID int, addr uint64, write bool, now clock.Time, served *int64) {
-	req := &mc.Request{
-		ID:    m.sys.NewID(),
-		Addr:  m.amap.Decompose(addr),
-		Write: write,
-		Core:  coreID,
+func (m *Machine) submitBestEffort(coreID int, addr uint64, write bool, now clock.Time) {
+	req := m.newRequest(addr, write, coreID, m.bestEffortDone)
+	if !m.sys.Enqueue(req, now) {
+		m.release(req)
 	}
-	req.Done = func(clock.Time) { *served++ }
-	m.sys.Enqueue(req, now)
 }
 
 // Run is the package-level convenience: assemble and run in one call.

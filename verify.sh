@@ -10,7 +10,10 @@
 #   4. go test         — full test suite (includes the golden linter tests,
 #                        the whole-repo lint run, and the same-seed
 #                        byte-identity determinism tests)
-#   5. go test -race   — race detector over the event loop and TWiCe engine
+#   5. go test -race   — race detector over the event loop, the TWiCe
+#                        engine, and the parallel experiment runner, plus
+#                        the serial/parallel equivalence test so the real
+#                        experiment fan-out runs under the detector
 set -eu
 
 cd "$(dirname "$0")"
@@ -27,7 +30,10 @@ go run ./cmd/twicelint ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/sim/... ./internal/core/..."
-go test -race ./internal/sim/... ./internal/core/...
+echo "==> go test -race ./internal/sim/... ./internal/core/... ./internal/parallel/..."
+go test -race ./internal/sim/... ./internal/core/... ./internal/parallel/...
+
+echo "==> go test -race -run TestParallelSerialEquivalence ./internal/experiments"
+go test -race -run TestParallelSerialEquivalence ./internal/experiments
 
 echo "verify: OK"
