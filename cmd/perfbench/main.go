@@ -1,12 +1,22 @@
 // Command perfbench measures the repository's performance envelope and
-// writes it to a JSON file (BENCH_2.json by default) so successive PRs can
-// track the trajectory:
+// writes it to a JSON file (BENCH_3.json by default) so successive PRs can
+// track the trajectory. Earlier trajectory points (BENCH_2.json, ...) are
+// never overwritten: each measurement generation writes its own file.
+//
+// Measurements:
 //
 //   - the single-run hot path: ns/op, allocs/op, and B/op for an S3 attack
 //     run end to end through the event loop (the same body as
-//     BenchmarkSimRunAllocs in internal/sim);
+//     BenchmarkSimRunAllocs in internal/sim), machine built fresh per op;
+//   - the same run through a recycled sim.CellRunner (the grid-cell mode:
+//     BenchmarkSimRunReusedAllocs), where the machine is constructed once
+//     and reset in place per op — the bytes/op delta is the per-cell
+//     construction cost reuse eliminates;
 //   - grid throughput: cells/sec for the Figure 7(b) grid executed serially
-//     (Parallel = 1) and on the worker pool, with the resulting speedup.
+//     (Parallel = 1) and on the worker pool, with the speedup and the real
+//     GOMAXPROCS/worker count recorded so a degenerate single-CPU
+//     measurement (BENCH_2's speedup of 1.016 at gomaxprocs 1) is visible
+//     as such instead of reading like an engine defect.
 //
 // Wall-clock timing is inherently nondeterministic; that is fine here
 // because the numbers are diagnostics, never simulation inputs (twicelint's
@@ -14,7 +24,7 @@
 //
 // Usage:
 //
-//	perfbench [-out BENCH_2.json] [-requests 40000] [-parallel 0]
+//	perfbench [-out BENCH_3.json] [-requests 40000] [-parallel 0]
 package main
 
 import (
@@ -30,6 +40,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/mc"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -58,27 +69,41 @@ type gridThroughput struct {
 }
 
 type report struct {
-	GOMAXPROCS int            `json:"gomaxprocs"`
-	HotPath    hotPath        `json:"sim_run_s3"`
-	Figure7b   gridThroughput `json:"figure7b_grid"`
+	GOMAXPROCS    int            `json:"gomaxprocs"`
+	HotPath       hotPath        `json:"sim_run_s3"`
+	HotPathReused hotPath        `json:"sim_run_s3_reused"`
+	BytesRatio    float64        `json:"fresh_over_reused_bytes"`
+	Figure7b      gridThroughput `json:"figure7b_grid"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_2.json", "output JSON file")
+	out := flag.String("out", "BENCH_3.json", "output JSON file")
 	requests := flag.Int64("requests", 40000, "demand requests per Figure 7(b) cell")
 	par := flag.Int("parallel", 0, "workers for the parallel grid leg (0 = all CPUs)")
 	flag.Parse()
 
 	rep := report{GOMAXPROCS: runtime.GOMAXPROCS(0)}
 
-	fmt.Println("perfbench: hot path (S3 through the event loop)...")
-	hp, err := benchHotPath()
+	fmt.Println("perfbench: hot path (S3 through the event loop, fresh machine per op)...")
+	hp, err := benchHotPath(false)
 	if err != nil {
 		fail(err)
 	}
 	rep.HotPath = hp
 	fmt.Printf("  %d ns/op, %d allocs/op, %d B/op (%d requests, %.1f ns/request)\n",
 		hp.NsPerOp, hp.AllocsPerOp, hp.BytesPerOp, hp.Requests, hp.NsPerReq)
+
+	fmt.Println("perfbench: hot path, recycled machine (grid-cell mode)...")
+	rp, err := benchHotPath(true)
+	if err != nil {
+		fail(err)
+	}
+	rep.HotPathReused = rp
+	if rp.BytesPerOp > 0 {
+		rep.BytesRatio = float64(hp.BytesPerOp) / float64(rp.BytesPerOp)
+	}
+	fmt.Printf("  %d ns/op, %d allocs/op, %d B/op (%.0fx fewer bytes than fresh)\n",
+		rp.NsPerOp, rp.AllocsPerOp, rp.BytesPerOp, rep.BytesRatio)
 
 	fmt.Println("perfbench: Figure 7(b) grid, serial vs parallel...")
 	gt, err := benchGrid(*requests, *par)
@@ -89,6 +114,9 @@ func main() {
 	fmt.Printf("  %d cells × %d requests: serial %.2fs (%.2f cells/s), parallel %.2fs (%.2f cells/s), %.2fx on %d workers\n",
 		gt.Cells, gt.RequestsPerCell, gt.SerialSeconds, gt.SerialCellsSec,
 		gt.ParallelSeconds, gt.ParCellsSec, gt.Speedup, gt.Workers)
+	if rep.GOMAXPROCS == 1 {
+		fmt.Println("  note: gomaxprocs is 1 — the speedup leg is degenerate on this host")
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -101,7 +129,10 @@ func main() {
 }
 
 // benchHotPath times the single-run event loop with allocation accounting.
-func benchHotPath() (hotPath, error) {
+// With reuse set, one machine is constructed up front and recycled across
+// ops through a sim.CellRunner, exactly as the experiment grids recycle one
+// machine per worker.
+func benchHotPath(reuse bool) (hotPath, error) {
 	const requests = 20000
 	cfg := sim.DefaultConfig(1)
 	cfg.DRAM.TREFW = clock.Millisecond
@@ -111,20 +142,42 @@ func benchHotPath() (hotPath, error) {
 	if err != nil {
 		return hotPath{}, err
 	}
+	newTWiCe := func() (*core.TWiCe, error) {
+		ccfg := core.NewConfig(cfg.DRAM)
+		ccfg.ThRH = 512
+		return core.New(ccfg)
+	}
+	lim := sim.Limits{MaxRequests: requests, MaxTime: 10 * clock.Second}
+	var runner *sim.CellRunner
+	if reuse {
+		runner = sim.NewCellRunner(cfg)
+		tw, err := newTWiCe()
+		if err != nil {
+			return hotPath{}, err
+		}
+		// Pay for machine construction outside the measured region.
+		if _, err := runner.Run(tw, workload.S3(amap, cfg.DRAM, 5000),
+			sim.Limits{MaxRequests: 100, MaxTime: 10 * clock.Second}); err != nil {
+			return hotPath{}, err
+		}
+	}
 	var served int64
 	var runErr error
 	res := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			ccfg := core.NewConfig(cfg.DRAM)
-			ccfg.ThRH = 512
-			tw, err := core.New(ccfg)
+			tw, err := newTWiCe()
 			if err != nil {
 				runErr = err
 				return
 			}
-			r, err := sim.Run(cfg, tw, workload.S3(amap, cfg.DRAM, 5000),
-				sim.Limits{MaxRequests: requests, MaxTime: 10 * clock.Second})
+			w := workload.S3(amap, cfg.DRAM, 5000)
+			var r *sim.Result
+			if reuse {
+				r, err = runner.Run(tw, w, lim)
+			} else {
+				r, err = sim.Run(cfg, tw, w, lim)
+			}
 			if err != nil {
 				runErr = err
 				return
@@ -150,6 +203,8 @@ func benchHotPath() (hotPath, error) {
 // benchGrid times Figure 7(b) serially and on the worker pool. Both legs run
 // the identical grid; the equivalence tests (internal/experiments) already
 // pin that the results match byte for byte, so only timing is recorded here.
+// The reported worker count is the pool size the parallel leg actually uses
+// (workers capped at GOMAXPROCS when the flag is 0, and at the cell count).
 func benchGrid(requests int64, workers int) (gridThroughput, error) {
 	s := experiments.QuickScale()
 	s.Requests = requests
@@ -165,9 +220,6 @@ func benchGrid(requests int64, workers int) (gridThroughput, error) {
 
 	par := s
 	par.Parallel = workers
-	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	start = time.Now()
 	if _, err := experiments.Figure7b(par); err != nil {
 		return gridThroughput{}, err
@@ -177,7 +229,7 @@ func benchGrid(requests int64, workers int) (gridThroughput, error) {
 	gt := gridThroughput{
 		Cells:           len(cells),
 		RequestsPerCell: requests,
-		Workers:         workers,
+		Workers:         parallel.Runner{Workers: workers}.PoolSize(len(cells)),
 		SerialSeconds:   serialDur.Seconds(),
 		ParallelSeconds: parDur.Seconds(),
 	}

@@ -90,6 +90,18 @@ func New(cfg Config) (*Cache, error) {
 // Config returns the cache geometry.
 func (c *Cache) Config() Config { return c.cfg }
 
+// Reset invalidates every line and zeroes the LRU clock and counters,
+// returning the cache to its just-constructed state without reallocating.
+func (c *Cache) Reset() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.sets[s][w] = line{}
+		}
+	}
+	c.tick = 0
+	c.stats = Stats{}
+}
+
 // Stats returns the event counters.
 func (c *Cache) Stats() Stats { return c.stats }
 

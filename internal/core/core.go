@@ -229,7 +229,7 @@ func (t *TWiCe) Config() Config { return t.cfg }
 // when the count reaches thRH, deallocate the entry and request an ARR for
 // the row (its physical neighbours are refreshed inside the device).
 func (t *TWiCe) OnActivate(bank dram.BankID, row int, _ clock.Time) defense.Action {
-	tb := t.tables[bank.Flat(t.cfg.DRAM)]
+	tb := t.tables[bank.Flat(&t.cfg.DRAM)]
 	e, ok := tb.Touch(row)
 	if !ok {
 		if err := tb.Insert(row); err != nil {
@@ -255,7 +255,7 @@ func (t *TWiCe) OnActivate(bank dram.BankID, row int, _ clock.Time) defense.Acti
 // shadow of the bank's auto-refresh (§5.2); with PruneEvery > 1 only every
 // k-th tick prunes.
 func (t *TWiCe) OnRefreshTick(bank dram.BankID, _ clock.Time) {
-	i := bank.Flat(t.cfg.DRAM)
+	i := bank.Flat(&t.cfg.DRAM)
 	t.pending[i]++
 	if t.pending[i] >= t.cfg.PruneEvery {
 		t.pending[i] = 0
@@ -263,11 +263,13 @@ func (t *TWiCe) OnRefreshTick(bank dram.BankID, _ clock.Time) {
 	}
 }
 
-// Reset implements defense.Defense: drop all table state.
+// Reset implements defense.Defense: drop all table state. Tables are cleared
+// in place rather than reallocated, so a reset engine reuses its storage;
+// Ops() counters do not survive a reset (Clear zeroes them, exactly as the
+// old reallocation did), while Detections() intentionally does.
 func (t *TWiCe) Reset() {
-	bound := t.cfg.TableBound()
 	for i := range t.tables {
-		t.tables[i] = newTable(t.cfg, bound)
+		t.tables[i].Clear()
 		t.pending[i] = 0
 	}
 }
@@ -277,7 +279,7 @@ func (t *TWiCe) Detections() int64 { return t.detections }
 
 // TableFor exposes the per-bank table for inspection (tests, reports).
 func (t *TWiCe) TableFor(bank dram.BankID) Table {
-	return t.tables[bank.Flat(t.cfg.DRAM)]
+	return t.tables[bank.Flat(&t.cfg.DRAM)]
 }
 
 // Ops aggregates table operation counters across all banks.

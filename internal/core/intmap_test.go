@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIntMapBasics(t *testing.T) {
+	m := newIntMap(4)
+	if _, ok := m.get(7); ok {
+		t.Fatal("empty map reports a key")
+	}
+	m.put(7, 70)
+	m.put(9, 90)
+	if v, ok := m.get(7); !ok || v != 70 {
+		t.Fatalf("get(7) = %d,%v", v, ok)
+	}
+	m.put(7, 71) // overwrite
+	if v, _ := m.get(7); v != 71 {
+		t.Fatalf("overwrite lost: %d", v)
+	}
+	if m.len() != 2 {
+		t.Fatalf("len = %d, want 2", m.len())
+	}
+	if !m.del(7) || m.del(7) {
+		t.Fatal("del(7) should succeed once")
+	}
+	if _, ok := m.get(7); ok {
+		t.Fatal("deleted key still present")
+	}
+	if v, ok := m.get(9); !ok || v != 90 {
+		t.Fatalf("unrelated key disturbed by delete: %d,%v", v, ok)
+	}
+	m.clear()
+	if m.len() != 0 {
+		t.Fatalf("len after clear = %d", m.len())
+	}
+	if _, ok := m.get(9); ok {
+		t.Fatal("cleared map reports a key")
+	}
+}
+
+// TestIntMapDifferentialVsMap hammers the open-addressed map with a long
+// random insert/overwrite/delete stream near its load bound and checks every
+// observable against a builtin map. Keys are drawn from a small domain so
+// probe chains collide and backward-shift deletion is exercised constantly.
+func TestIntMapDifferentialVsMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const capacity = 64
+	m := newIntMap(capacity)
+	ref := make(map[int]int, capacity)
+	for i := 0; i < 200000; i++ {
+		key := rng.Intn(200)
+		switch {
+		case rng.Intn(10) < 6:
+			if len(ref) < capacity {
+				ref[key] = i
+				m.put(key, i)
+			}
+		case rng.Intn(10) < 8:
+			_, want := ref[key]
+			delete(ref, key)
+			if got := m.del(key); got != want {
+				t.Fatalf("step %d: del(%d) = %v, map says %v", i, key, got, want)
+			}
+		default:
+			want, wok := ref[key]
+			got, gok := m.get(key)
+			if gok != wok || (gok && got != want) {
+				t.Fatalf("step %d: get(%d) = %d,%v, map says %d,%v", i, key, got, gok, want, wok)
+			}
+		}
+		if m.len() != len(ref) {
+			t.Fatalf("step %d: len %d vs map %d", i, m.len(), len(ref))
+		}
+		if i%5000 == 0 { // periodic full-state audit
+			for k, want := range ref {
+				if got, ok := m.get(k); !ok || got != want {
+					t.Fatalf("step %d: audit key %d = %d,%v, want %d", i, k, got, ok, want)
+				}
+			}
+		}
+	}
+	m.clear()
+	if m.len() != 0 {
+		t.Fatal("clear left entries")
+	}
+	for k := range ref {
+		if _, ok := m.get(k); ok {
+			t.Fatalf("key %d survived clear", k)
+		}
+	}
+}
+
+func TestIntMapFullCapacity(t *testing.T) {
+	const capacity = 100
+	m := newIntMap(capacity)
+	for k := 0; k < capacity; k++ {
+		m.put(k*131071, k)
+	}
+	if m.len() != capacity {
+		t.Fatalf("len = %d, want %d", m.len(), capacity)
+	}
+	for k := 0; k < capacity; k++ {
+		if v, ok := m.get(k * 131071); !ok || v != k {
+			t.Fatalf("get(%d) = %d,%v", k*131071, v, ok)
+		}
+	}
+	for k := 0; k < capacity; k++ {
+		if !m.del(k * 131071) {
+			t.Fatalf("del(%d) failed", k*131071)
+		}
+	}
+	if m.len() != 0 {
+		t.Fatalf("len = %d after draining", m.len())
+	}
+}

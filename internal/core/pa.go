@@ -190,6 +190,21 @@ func (t *paTable) Prune(thPI int) int {
 	return pruned
 }
 
+// Clear implements Table: every way emptied, all set-borrowing indicators
+// zeroed, counters reset — storage untouched.
+func (t *paTable) Clear() {
+	for s := range t.sets {
+		for w := range t.sets[s] {
+			t.sets[s][w].Row = -1
+		}
+		for p := range t.sb[s] {
+			t.sb[s][p] = 0
+		}
+	}
+	t.len = 0
+	t.ops = OpStats{}
+}
+
 func (t *paTable) Len() int { return t.len }
 func (t *paTable) Cap() int { return len(t.sets) * t.ways }
 

@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is active; allocation-ceiling
+// assertions are skipped under it (instrumentation changes heap behaviour).
+const raceEnabled = true

@@ -68,11 +68,17 @@ func (t *sepTable) Insert(row int) error {
 	}
 	// Fresh rows prefer the narrow sub-table; when more than narrowCap
 	// fresh rows are live in one PI the remainder borrow wide slots (§6.2's
-	// accounting leaves exactly maxact/thPI wide slots spare for this).
-	if err := t.narrow.Insert(row); err != nil {
-		if werr := t.wide.Insert(row); werr != nil {
-			return fmt.Errorf("core: separated table full: %w", werr)
+	// accounting leaves exactly maxact/thPI wide slots spare for this). The
+	// spill decision checks occupancy up front rather than trying the narrow
+	// insert and catching its error, because constructing that error would
+	// put an allocation on the per-ACT path whenever the narrow table runs
+	// full (the already-tracked case was excluded by the Lookup above).
+	if t.narrow.Len() < t.narrow.Cap() {
+		if err := t.narrow.Insert(row); err != nil {
+			return fmt.Errorf("core: separated narrow sub-table: %w", err)
 		}
+	} else if err := t.wide.Insert(row); err != nil {
+		return fmt.Errorf("core: separated table full: %w", err)
 	}
 	t.ops.Inserts++
 	if n := t.Len(); n > t.ops.PeakOccupancy {
@@ -120,6 +126,13 @@ func (t *sepTable) Prune(thPI int) int {
 	t.ops.Prunes++
 	t.ops.EntriesPruned += int64(pruned)
 	return pruned
+}
+
+// Clear implements Table: both sub-tables cleared, counters reset.
+func (t *sepTable) Clear() {
+	t.narrow.Clear()
+	t.wide.Clear()
+	t.ops = OpStats{}
 }
 
 func (t *sepTable) Len() int { return t.narrow.Len() + t.wide.Len() }

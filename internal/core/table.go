@@ -56,17 +56,24 @@ type Table interface {
 	Snapshot() []Entry
 	// Ops returns operation counters since construction.
 	Ops() OpStats
+	// Clear empties the table and zeroes its operation counters without
+	// releasing storage, leaving it indistinguishable from a freshly
+	// constructed table. Machine reuse and TWiCe.Reset depend on that
+	// just-constructed equivalence (including free-slot ordering, so that
+	// post-clear insertions land in the same slots a fresh table would use).
+	Clear()
 }
 
 // faTable is the fully-associative organization (fa-TWiCe): conceptually a
 // CAM over row_addr searched in parallel. The simulator realises it as a
-// dense entry pool with a row index map; the CAM cost shows up only in the
-// energy model, not in behaviour.
+// dense entry pool with a row index; the CAM cost shows up only in the
+// energy model, not in behaviour. The index is an open-addressed intMap
+// rather than a Go map because Touch runs once per simulated ACT.
 type faTable struct {
 	entries []Entry
 	valid   []bool
 	free    []int
-	index   map[int]int // row -> slot
+	index   *intMap // row -> slot
 	ops     OpStats
 }
 
@@ -76,7 +83,7 @@ func newFATable(capacity int) *faTable {
 		entries: make([]Entry, capacity),
 		valid:   make([]bool, capacity),
 		free:    make([]int, 0, capacity),
-		index:   make(map[int]int, capacity),
+		index:   newIntMap(capacity),
 	}
 	for i := capacity - 1; i >= 0; i-- {
 		t.free = append(t.free, i)
@@ -87,7 +94,7 @@ func newFATable(capacity int) *faTable {
 func (t *faTable) Touch(row int) (Entry, bool) {
 	t.ops.Searches++
 	t.ops.SetsProbed++
-	i, ok := t.index[row]
+	i, ok := t.index.get(row)
 	if !ok {
 		return Entry{}, false
 	}
@@ -96,14 +103,14 @@ func (t *faTable) Touch(row int) (Entry, bool) {
 }
 
 func (t *faTable) Lookup(row int) (Entry, bool) {
-	if i, ok := t.index[row]; ok {
+	if i, ok := t.index.get(row); ok {
 		return t.entries[i], true
 	}
 	return Entry{}, false
 }
 
 func (t *faTable) Insert(row int) error {
-	if _, ok := t.index[row]; ok {
+	if _, ok := t.index.get(row); ok {
 		return fmt.Errorf("core: insert of already-tracked row %d", row)
 	}
 	if len(t.free) == 0 {
@@ -113,9 +120,9 @@ func (t *faTable) Insert(row int) error {
 	t.free = t.free[:len(t.free)-1]
 	t.entries[i] = Entry{Row: row, ActCnt: 1, Life: 1}
 	t.valid[i] = true
-	t.index[row] = i
+	t.index.put(row, i)
 	t.ops.Inserts++
-	if n := len(t.index); n > t.ops.PeakOccupancy {
+	if n := t.index.len(); n > t.ops.PeakOccupancy {
 		t.ops.PeakOccupancy = n
 	}
 	return nil
@@ -133,17 +140,17 @@ func (t *faTable) Restore(e Entry) error {
 // set overwrites the stored entry for a tracked row; used by the separated
 // table to move an entry between sub-tables without resetting its counts.
 func (t *faTable) set(row int, e Entry) {
-	if i, ok := t.index[row]; ok {
+	if i, ok := t.index.get(row); ok {
 		t.entries[i] = e
 	}
 }
 
 func (t *faTable) Remove(row int) {
-	i, ok := t.index[row]
+	i, ok := t.index.get(row)
 	if !ok {
 		return
 	}
-	delete(t.index, row)
+	t.index.del(row)
 	t.valid[i] = false
 	t.free = append(t.free, i)
 	t.ops.Removes++
@@ -157,7 +164,7 @@ func (t *faTable) Prune(thPI int) int {
 		}
 		e := &t.entries[i]
 		if e.ActCnt < thPI*e.Life {
-			delete(t.index, e.Row)
+			t.index.del(e.Row)
 			t.valid[i] = false
 			t.free = append(t.free, i)
 			pruned++
@@ -170,11 +177,26 @@ func (t *faTable) Prune(thPI int) int {
 	return pruned
 }
 
-func (t *faTable) Len() int { return len(t.index) }
+// Clear implements Table. The free list is rebuilt in the same descending
+// order newFATable uses, so a cleared table hands out slots in the exact
+// sequence a fresh one would.
+func (t *faTable) Clear() {
+	for i := range t.valid {
+		t.valid[i] = false
+	}
+	t.free = t.free[:0]
+	for i := len(t.entries) - 1; i >= 0; i-- {
+		t.free = append(t.free, i)
+	}
+	t.index.clear()
+	t.ops = OpStats{}
+}
+
+func (t *faTable) Len() int { return t.index.len() }
 func (t *faTable) Cap() int { return len(t.entries) }
 
 func (t *faTable) Snapshot() []Entry {
-	out := make([]Entry, 0, len(t.index))
+	out := make([]Entry, 0, t.index.len())
 	for i, v := range t.valid {
 		if v {
 			out = append(out, t.entries[i])

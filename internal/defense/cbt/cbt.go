@@ -204,7 +204,7 @@ func (c *CBT) merge(t *bankTree, n *node) {
 
 // OnActivate implements defense.Defense.
 func (c *CBT) OnActivate(bank dram.BankID, row int, _ clock.Time) defense.Action {
-	t := c.trees[bank.Flat(c.cfg.DRAM)]
+	t := c.trees[bank.Flat(&c.cfg.DRAM)]
 	n := t.find(row)
 	n.count++
 
@@ -252,7 +252,7 @@ func maxChild(n *node) int {
 // OnRefreshTick implements defense.Defense: CBT resets its tree every tREFW
 // (the paper's design), which we pace by counting per-bank refresh ticks.
 func (c *CBT) OnRefreshTick(bank dram.BankID, _ clock.Time) {
-	i := bank.Flat(c.cfg.DRAM)
+	i := bank.Flat(&c.cfg.DRAM)
 	c.ticks[i]++
 	if c.ticks[i] >= c.resetEvery {
 		c.ticks[i] = 0
@@ -275,7 +275,7 @@ func (c *CBT) Stats() (splits, merges, rangeRefreshes, detections int64) {
 
 // Leaves returns the current leaf count of a bank's tree (test hook).
 func (c *CBT) Leaves(bank dram.BankID) int {
-	return c.trees[bank.Flat(c.cfg.DRAM)].leaves
+	return c.trees[bank.Flat(&c.cfg.DRAM)].leaves
 }
 
 // MaxLeafCount returns the largest current leaf count in a bank's tree and
@@ -292,6 +292,6 @@ func (c *CBT) MaxLeafCount(bank dram.BankID) (count, rangeRows int) {
 		walk(n.left)
 		walk(n.right)
 	}
-	walk(c.trees[bank.Flat(c.cfg.DRAM)].root)
+	walk(c.trees[bank.Flat(&c.cfg.DRAM)].root)
 	return
 }

@@ -138,7 +138,7 @@ func (c *CRA) lookup(t lineTag) (w *way, extra int) {
 // OnActivate implements defense.Defense: bump the row's counter (fetching
 // its cache line if absent) and refresh neighbours at the threshold.
 func (c *CRA) OnActivate(bank dram.BankID, row int, _ clock.Time) defense.Action {
-	t := lineTag{bank: bank.Flat(c.cfg.DRAM), group: row / c.cfg.CountersPerLine}
+	t := lineTag{bank: bank.Flat(&c.cfg.DRAM), group: row / c.cfg.CountersPerLine}
 	w, extra := c.lookup(t)
 	slot := row % c.cfg.CountersPerLine
 	w.counts[slot]++

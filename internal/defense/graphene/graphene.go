@@ -105,7 +105,7 @@ func (g *Graphene) TableEntries() int { return g.cfg.Entries }
 // rows increment; untracked rows either claim a free slot, replace an entry
 // at the spillover floor, or raise the floor.
 func (g *Graphene) OnActivate(bank dram.BankID, row int, _ clock.Time) defense.Action {
-	b := &g.banks[bank.Flat(g.cfg.DRAM)]
+	b := &g.banks[bank.Flat(&g.cfg.DRAM)]
 	if i, ok := b.index[row]; ok {
 		b.entries[i].count++
 		if b.entries[i].count >= g.cfg.Threshold {
@@ -140,7 +140,7 @@ func (g *Graphene) OnActivate(bank dram.BankID, row int, _ clock.Time) defense.A
 // OnRefreshTick implements defense.Defense: the summary resets every refresh
 // window (aligned with the vulnerability epoch, like the paper's CBT).
 func (g *Graphene) OnRefreshTick(bank dram.BankID, _ clock.Time) {
-	b := &g.banks[bank.Flat(g.cfg.DRAM)]
+	b := &g.banks[bank.Flat(&g.cfg.DRAM)]
 	b.ticks++
 	if b.ticks >= g.resetEvery {
 		b.ticks = 0

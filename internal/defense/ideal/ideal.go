@@ -78,7 +78,7 @@ func (d *Ideal) CountersPerBank() int { return d.cfg.DRAM.RowsPerBank }
 
 // OnActivate implements defense.Defense.
 func (d *Ideal) OnActivate(bank dram.BankID, row int, _ clock.Time) defense.Action {
-	b := &d.banks[bank.Flat(d.cfg.DRAM)]
+	b := &d.banks[bank.Flat(&d.cfg.DRAM)]
 	if row < 0 || row >= len(b.counts) {
 		return defense.Action{}
 	}
@@ -95,7 +95,7 @@ func (d *Ideal) OnActivate(bank dram.BankID, row int, _ clock.Time) defense.Acti
 // swept rows' neighbours-accumulated charge, so their aggressor counters can
 // restart — mirroring the reliability epoch of the device model.
 func (d *Ideal) OnRefreshTick(bank dram.BankID, _ clock.Time) {
-	b := &d.banks[bank.Flat(d.cfg.DRAM)]
+	b := &d.banks[bank.Flat(&d.cfg.DRAM)]
 	for i := 0; i < d.perTick; i++ {
 		if b.refreshPtr < len(b.counts) {
 			b.counts[b.refreshPtr] = 0

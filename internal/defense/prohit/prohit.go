@@ -85,7 +85,7 @@ func (p *PRoHIT) Name() string { return "PRoHIT" }
 // OnActivate implements defense.Defense.
 func (p *PRoHIT) OnActivate(bank dram.BankID, row int, _ clock.Time) defense.Action {
 	p.tick++
-	i := bank.Flat(p.cfg.DRAM)
+	i := bank.Flat(&p.cfg.DRAM)
 	tbl := p.tables[i]
 
 	// Tracked rows refresh their neighbours with the boosted probability.

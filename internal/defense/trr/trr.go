@@ -85,7 +85,7 @@ func (t *TRR) Name() string { return fmt.Sprintf("TRR-%d", t.cfg.TrackerEntries)
 // least-recently-activated entry — the exploitable behaviour.
 func (t *TRR) OnActivate(bank dram.BankID, row int, _ clock.Time) defense.Action {
 	t.tick++
-	i := bank.Flat(t.cfg.DRAM)
+	i := bank.Flat(&t.cfg.DRAM)
 	tr := t.trackers[i]
 	for j := range tr {
 		if tr[j].row != row {

@@ -32,8 +32,12 @@ func (b BankID) String() string {
 	return fmt.Sprintf("ch%d/rk%d/ba%d", b.Channel, b.Rank, b.Bank)
 }
 
-// Flat returns a dense index for the bank in [0, p.TotalBanks()).
-func (b BankID) Flat(p Params) int {
+// Flat returns a dense index for the bank in [0, p.TotalBanks()). It takes
+// the parameters by pointer because it runs on the per-ACT hot path of every
+// defense and the timing checker: passing the ~30-field Params struct by
+// value made the copy (runtime.duffcopy) one of the simulator's largest
+// single costs.
+func (b BankID) Flat(p *Params) int {
 	return (b.Channel*p.RanksPerChannel+b.Rank)*p.BanksPerRank + b.Bank
 }
 
@@ -47,6 +51,7 @@ type RankID struct {
 func (b BankID) RankID() RankID { return RankID{b.Channel, b.Rank} }
 
 // Flat returns a dense index for the rank in [0, Channels*RanksPerChannel).
-func (r RankID) Flat(p Params) int {
+// Pointer parameter for the same hot-path reason as BankID.Flat.
+func (r RankID) Flat(p *Params) int {
 	return r.Channel*p.RanksPerChannel + r.Rank
 }

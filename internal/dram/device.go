@@ -99,11 +99,24 @@ func (b *Bank) Activate(logicalRow int, now clock.Time) error {
 
 // hammer applies the disturbance of one activation of the given physical row
 // to its neighbours and rejuvenates the activated row itself (an activation
-// fully restores the row's own charge).
+// fully restores the row's own charge). This is the innermost operation of
+// every experiment, so the neighbour range is iterated inline — same
+// ascending order as RemapTable.PhysicalNeighbors, but with zero allocation.
 func (b *Bank) hammer(phys int, now clock.Time) {
 	b.disturb[phys] = 0
 	b.flipped[phys] = false
-	for _, n := range b.remap.PhysicalNeighbors(phys, b.p.BlastRadius) {
+	lo := phys - b.p.BlastRadius
+	if lo < 0 {
+		lo = 0
+	}
+	hi := phys + b.p.BlastRadius
+	if last := len(b.disturb) - 1; hi > last {
+		hi = last
+	}
+	for n := lo; n <= hi; n++ {
+		if n == phys {
+			continue
+		}
 		b.disturb[n]++
 		if int(b.disturb[n]) > b.p.NTh && !b.flipped[n] {
 			b.flipped[n] = true
@@ -164,14 +177,26 @@ func (b *Bank) AdjacentRowRefresh(aggressorLogical int, now clock.Time) (int, er
 		return 0, fmt.Errorf("dram: ARR with row %d open in %v", b.openRow, b.id)
 	}
 	phys := b.remap.Physical(aggressorLogical)
-	neighbors := b.remap.PhysicalNeighbors(phys, b.p.BlastRadius)
-	for _, n := range neighbors {
+	lo := phys - b.p.BlastRadius
+	if lo < 0 {
+		lo = 0
+	}
+	hi := phys + b.p.BlastRadius
+	if last := b.remap.PhysicalRows() - 1; hi > last {
+		hi = last
+	}
+	count := 0
+	for n := lo; n <= hi; n++ {
+		if n == phys {
+			continue
+		}
 		// Refreshing a victim is an internal activation: it restores the
 		// victim's charge but also disturbs the victim's own neighbours.
 		b.hammer(n, now)
+		count++
 	}
-	b.stats.VictimACTs += int64(len(neighbors))
-	return len(neighbors), nil
+	b.stats.VictimACTs += int64(count)
+	return count, nil
 }
 
 // RefreshLogicalNeighbors models what a remapping-oblivious controller would
@@ -202,6 +227,25 @@ func (b *Bank) RefreshLogicalNeighbors(aggressorLogical int, now clock.Time) (in
 // Disturbance returns the disturbance count of a physical row (test hook).
 func (b *Bank) Disturbance(phys int) int { return int(b.disturb[phys]) }
 
+// Reset restores the bank to its just-constructed state while keeping its
+// storage and remap table: disturbance counters and flip marks cleared, the
+// refresh pointer rewound, recorded flips dropped (the backing array is
+// reused), and the activity counters zeroed. The remap table is fuse data —
+// it survives, which is what makes a reset bank byte-identical to a fresh
+// bank built from the same generation sequence.
+func (b *Bank) Reset() {
+	for i := range b.disturb {
+		b.disturb[i] = 0
+	}
+	for i := range b.flipped {
+		b.flipped[i] = false
+	}
+	b.refreshPtr = 0
+	b.openRow = -1
+	b.flips = b.flips[:0]
+	b.stats = BankStats{}
+}
+
 // Device models a full multi-channel DRAM population: one Bank per
 // (channel, rank, bank) coordinate, each with its own remap table.
 type Device struct {
@@ -225,7 +269,7 @@ func NewDevice(p Params, rng *rand.Rand) (*Device, error) {
 				if rng != nil {
 					remap = GenerateRemapTable(p, rng)
 				}
-				d.banks[id.Flat(p)] = NewBank(id, &d.p, remap)
+				d.banks[id.Flat(&p)] = NewBank(id, &d.p, remap)
 			}
 		}
 	}
@@ -236,7 +280,15 @@ func NewDevice(p Params, rng *rand.Rand) (*Device, error) {
 func (d *Device) Params() Params { return d.p }
 
 // Bank returns the bank at the given coordinate.
-func (d *Device) Bank(id BankID) *Bank { return d.banks[id.Flat(d.p)] }
+func (d *Device) Bank(id BankID) *Bank { return d.banks[id.Flat(&d.p)] }
+
+// Reset restores every bank to its just-constructed state (see Bank.Reset),
+// reusing all storage — the machine-recycling path of the experiment grids.
+func (d *Device) Reset() {
+	for _, b := range d.banks {
+		b.Reset()
+	}
+}
 
 // Banks returns all banks in flat order.
 func (d *Device) Banks() []*Bank { return d.banks }

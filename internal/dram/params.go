@@ -121,8 +121,9 @@ func (p Params) Validate() error {
 }
 
 // BankGroup returns the bank-group index of a bank, or 0 when grouping is
-// disabled.
-func (p Params) BankGroup(bank int) int {
+// disabled. Pointer receiver: the timing checker calls this once or twice
+// per candidate command, and a by-value receiver copies the whole struct.
+func (p *Params) BankGroup(bank int) int {
 	if p.BankGroups <= 1 {
 		return 0
 	}
@@ -130,8 +131,9 @@ func (p Params) BankGroup(bank int) int {
 }
 
 // RRDWithin returns the ACT-to-ACT spacing for two ACTs in the same bank
-// group (tRRD_L, falling back to tRRD_S when unset).
-func (p Params) RRDWithin() clock.Time {
+// group (tRRD_L, falling back to tRRD_S when unset). Pointer receiver for
+// the same hot-path reason as BankGroup.
+func (p *Params) RRDWithin() clock.Time {
 	if p.TRRDL > 0 {
 		return p.TRRDL
 	}
@@ -139,8 +141,9 @@ func (p Params) RRDWithin() clock.Time {
 }
 
 // CCDWithin returns the column-to-column spacing within a bank group
-// (tCCD_L, falling back to tCCD_S when unset).
-func (p Params) CCDWithin() clock.Time {
+// (tCCD_L, falling back to tCCD_S when unset). Pointer receiver for the
+// same hot-path reason as BankGroup.
+func (p *Params) CCDWithin() clock.Time {
 	if p.TCCDL > 0 {
 		return p.TCCDL
 	}

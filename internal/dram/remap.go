@@ -3,8 +3,7 @@ package dram
 import (
 	"fmt"
 	"math/rand"
-
-	"repro/internal/detutil"
+	"sort"
 )
 
 // RemapTable records the row-sparing decisions made at device test time:
@@ -16,25 +15,27 @@ import (
 // Physical row space is [0, RowsPerBank + SpareRowsPerBank): the first
 // RowsPerBank physical rows are the default homes of the logical rows, the
 // tail is the spare region.
+//
+// Resolution sits on the simulator's per-ACT hot path (every Activate calls
+// Physical), so the sparse remapped set is held in flat sorted slices probed
+// by binary search instead of maps: the common case — no rows remapped, or a
+// row outside the remapped set — costs one branch or one ~7-step probe over
+// a ~100-entry slice, with zero allocation and no map hashing.
 type RemapTable struct {
 	rows   int
 	spares int
-	// logicalToPhys holds only remapped logical rows.
-	logicalToPhys map[int]int
-	// physToLogical is the inverse for remapped targets plus tombstones for
-	// vacated default homes.
-	physToLogical map[int]int
-	used          int
+	// remappedLogical is the ascending list of remapped logical rows;
+	// remappedPhys[i] is the spare physical row serving remappedLogical[i].
+	remappedLogical []int
+	remappedPhys    []int
+	// spareLogical[s] is the logical row living in spare s (physical row
+	// rows+s), dense because spares are assigned in order.
+	spareLogical []int
 }
 
 // NewRemapTable returns an identity mapping with the given geometry.
 func NewRemapTable(rows, spares int) *RemapTable {
-	return &RemapTable{
-		rows:          rows,
-		spares:        spares,
-		logicalToPhys: make(map[int]int),
-		physToLogical: make(map[int]int),
-	}
+	return &RemapTable{rows: rows, spares: spares}
 }
 
 // GenerateRemapTable builds a remap table by sampling faulty rows at the
@@ -63,17 +64,59 @@ func GenerateRemapTable(p Params, rng *rand.Rand) *RemapTable {
 	if n > p.SpareRowsPerBank {
 		n = p.SpareRowsPerBank
 	}
-	seen := make(map[int]bool, n)
-	for len(seen) < n {
+	if n == 0 {
+		return t
+	}
+	// Collect the n distinct faulty rows in acceptance order (spare s serves
+	// the s-th accepted row), then build the sorted probe slices in one pass.
+	// Incremental Remap calls would sorted-insert per acceptance — O(n²)
+	// element moves per bank, which dominated machine construction at the
+	// default fault rate (n = 1024 spares per bank). The rejection loop below
+	// draws from the rng in exactly the order the incremental version did, so
+	// generated layouts are unchanged.
+	taken := make([]bool, p.RowsPerBank)
+	t.spareLogical = make([]int, 0, n)
+	for len(t.spareLogical) < n {
 		r := rng.Intn(p.RowsPerBank)
-		if !seen[r] {
-			seen[r] = true
-			if err := t.Remap(r); err != nil {
-				break // spares exhausted; leave remaining rows unmapped
-			}
+		if !taken[r] {
+			taken[r] = true
+			t.spareLogical = append(t.spareLogical, r)
 		}
 	}
+	perm := make([]int, n) // acceptance indices, sorted by logical row
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(i, j int) bool { return t.spareLogical[perm[i]] < t.spareLogical[perm[j]] })
+	t.remappedLogical = make([]int, n)
+	t.remappedPhys = make([]int, n)
+	for i, s := range perm {
+		t.remappedLogical[i] = t.spareLogical[s]
+		t.remappedPhys[i] = t.rows + s
+	}
 	return t
+}
+
+// used returns the number of spares consumed.
+func (t *RemapTable) used() int { return len(t.spareLogical) }
+
+// findRemapped binary-searches the sorted remapped-logical slice and returns
+// the position of logical, or -1 when the row is not remapped. Written as a
+// plain loop (no sort.Search closure) because it runs on the per-ACT path.
+func (t *RemapTable) findRemapped(logical int) int {
+	lo, hi := 0, len(t.remappedLogical)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.remappedLogical[mid] < logical {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(t.remappedLogical) && t.remappedLogical[lo] == logical {
+		return lo
+	}
+	return -1
 }
 
 // Remap assigns the next free spare row to the given logical row. It returns
@@ -82,24 +125,37 @@ func (t *RemapTable) Remap(logical int) error {
 	if logical < 0 || logical >= t.rows {
 		return fmt.Errorf("dram: remap of out-of-range logical row %d", logical)
 	}
-	if _, ok := t.logicalToPhys[logical]; ok {
+	if t.findRemapped(logical) >= 0 {
 		return fmt.Errorf("dram: logical row %d already remapped", logical)
 	}
-	if t.used >= t.spares {
-		return fmt.Errorf("dram: spare rows exhausted (%d used)", t.used)
+	if t.used() >= t.spares {
+		return fmt.Errorf("dram: spare rows exhausted (%d used)", t.used())
 	}
-	phys := t.rows + t.used
-	t.used++
-	t.logicalToPhys[logical] = phys
-	t.physToLogical[phys] = logical
-	t.physToLogical[logical] = -1 // vacated default home: no logical row lives here
+	phys := t.rows + t.used()
+	t.spareLogical = append(t.spareLogical, logical)
+	// Insert into the sorted probe slices (setup path; O(n) insertion is
+	// irrelevant next to the per-ACT lookups it buys).
+	pos := 0
+	for pos < len(t.remappedLogical) && t.remappedLogical[pos] < logical {
+		pos++
+	}
+	t.remappedLogical = append(t.remappedLogical, 0)
+	t.remappedPhys = append(t.remappedPhys, 0)
+	copy(t.remappedLogical[pos+1:], t.remappedLogical[pos:])
+	copy(t.remappedPhys[pos+1:], t.remappedPhys[pos:])
+	t.remappedLogical[pos] = logical
+	t.remappedPhys[pos] = phys
 	return nil
 }
 
-// Physical resolves a logical row index to its physical row index.
+// Physical resolves a logical row index to its physical row index. The
+// identity short-circuit makes this a single branch for unremapped banks.
 func (t *RemapTable) Physical(logical int) int {
-	if p, ok := t.logicalToPhys[logical]; ok {
-		return p
+	if len(t.remappedLogical) == 0 {
+		return logical
+	}
+	if i := t.findRemapped(logical); i >= 0 {
+		return t.remappedPhys[i]
 	}
 	return logical
 }
@@ -108,28 +164,38 @@ func (t *RemapTable) Physical(logical int) int {
 // or -1 if the physical row holds no logical row (an unused spare or a
 // vacated faulty row).
 func (t *RemapTable) Logical(phys int) int {
-	if l, ok := t.physToLogical[phys]; ok {
-		return l
+	if phys >= t.rows {
+		if s := phys - t.rows; s < t.used() {
+			return t.spareLogical[s]
+		}
+		return -1
 	}
-	if phys < t.rows {
-		return phys
+	if phys < 0 {
+		return -1
 	}
-	return -1
+	if len(t.remappedLogical) != 0 && t.findRemapped(phys) >= 0 {
+		return -1 // vacated default home: no logical row lives here
+	}
+	return phys
 }
 
 // Remapped returns the sorted list of remapped logical rows.
 func (t *RemapTable) Remapped() []int {
-	return detutil.SortedKeys(t.logicalToPhys)
+	out := make([]int, len(t.remappedLogical))
+	copy(out, t.remappedLogical)
+	return out
 }
 
 // Count returns the number of remapped rows.
-func (t *RemapTable) Count() int { return t.used }
+func (t *RemapTable) Count() int { return t.used() }
 
 // PhysicalRows returns the size of the physical row space.
 func (t *RemapTable) PhysicalRows() int { return t.rows + t.spares }
 
 // PhysicalNeighbors returns the physical rows within the blast radius of the
 // given physical row, in ascending order, clipped to the physical row space.
+// It allocates its result and exists as a test/report hook; the per-ACT
+// disturbance path in Bank.hammer iterates the same range inline instead.
 func (t *RemapTable) PhysicalNeighbors(phys, radius int) []int {
 	out := make([]int, 0, 2*radius)
 	for d := -radius; d <= radius; d++ {

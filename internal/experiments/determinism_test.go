@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/mc"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -24,8 +25,9 @@ func TestCSVByteIdentity(t *testing.T) {
 			t.Fatal(err)
 		}
 		var cells []Cell
+		runner := sim.NewCellRunner(cfg)
 		for _, dname := range []string{"none", "TWiCe", "PARA-0.002"} {
-			c, err := s.runCell("S3", workload.S3(amap, cfg.DRAM, 5000), dname)
+			c, err := s.runCell(runner, "S3", workload.S3(amap, cfg.DRAM, 5000), dname)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -170,18 +170,20 @@ type Cell struct {
 	SimTime    clock.Time
 }
 
-// runCell executes one workload under one defense.
-func (s Scale) runCell(wname string, w workload.Workload, dname string) (Cell, error) {
+// runCell executes one workload under one defense on the given cell runner,
+// recycling the runner's machine (device, caches, controller, queues) across
+// calls. The defense is built fresh per cell — it is the one component whose
+// type varies across a grid.
+func (s Scale) runCell(r *sim.CellRunner, wname string, w workload.Workload, dname string) (Cell, error) {
 	requests := s.Requests
 	if wname == "S2" || wname == "adversarial-S2" {
 		requests = s.s2MinRequests()
 	}
-	cfg := s.machineConfig()
-	def, err := s.NewDefense(dname, cfg.DRAM)
+	def, err := s.NewDefense(dname, s.machineConfig().DRAM)
 	if err != nil {
 		return Cell{}, err
 	}
-	res, err := sim.Run(cfg, def, w, sim.Limits{MaxRequests: requests, MaxTime: 30 * clock.Second})
+	res, err := r.Run(def, w, sim.Limits{MaxRequests: requests, MaxTime: 30 * clock.Second})
 	if err != nil {
 		return Cell{}, fmt.Errorf("experiments: %s/%s: %w", wname, dname, err)
 	}
@@ -210,18 +212,26 @@ type cellJob struct {
 }
 
 // runGrid executes a flat list of independent cells on the scale's worker
-// pool and returns one Cell per job, in job order. Execution order does not
-// affect the result: every cell assembles its own machine (device, caches,
-// controller, defense, counters) from the deterministic Scale parameters,
-// and results land by index.
+// pool and returns one Cell per job, in job order. Each pool slot owns one
+// recycled sim.CellRunner: the first cell a slot runs pays for machine
+// construction, every later cell resets the same device/cache/controller
+// state in place (the reuse equivalence test in internal/sim pins that a
+// recycled machine behaves byte-identically to a fresh one). Execution order
+// still cannot affect the result: cells share nothing but the immutable
+// Scale parameters, and results land by index.
 func (s Scale) runGrid(jobs []cellJob) ([]Cell, error) {
-	return parallel.Map(s.Parallel, len(jobs), func(i int) (Cell, error) {
+	runners := make([]*sim.CellRunner, parallel.Runner{Workers: s.Parallel}.PoolSize(len(jobs)))
+	cfg := s.machineConfig()
+	return parallel.MapWorkers(s.Parallel, len(jobs), func(worker, i int) (Cell, error) {
+		if runners[worker] == nil {
+			runners[worker] = sim.NewCellRunner(cfg)
+		}
 		j := jobs[i]
 		w, err := j.build()
 		if err != nil {
 			return Cell{}, err
 		}
-		return s.runCell(j.wname, w, j.dname)
+		return s.runCell(runners[worker], j.wname, w, j.dname)
 	})
 }
 

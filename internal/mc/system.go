@@ -200,6 +200,46 @@ func New(cfg Config, dev *dram.Device, r *rcd.RCD, cnt *stats.Counters) (*System
 // to it. Pass nil to disable pooling (the default).
 func (s *System) SetRelease(fn func(*Request)) { s.release = fn }
 
+// Reset returns the controller and its timing checker to their
+// just-constructed state while reusing queues, scratch, and bank arrays. The
+// device, RCD, and counters objects were handed to New by the caller and are
+// the caller's to reset. The refresh stagger and wake times are recomputed
+// exactly as New computes them, so a reset system schedules the same command
+// stream a fresh one would.
+func (s *System) Reset() {
+	s.chk.Reset()
+	cfg := s.cfg
+	for c, ch := range s.chans {
+		ch.queue = ch.queue[:0]
+		ch.wqueue = ch.wqueue[:0]
+		ch.draining = false
+		for b := range ch.banks {
+			ch.banks[b].open = -1
+			ch.banks[b].hits = 0
+			ch.banks[b].mit = ch.banks[b].mit[:0]
+		}
+		for rk := range ch.refreshDue {
+			off := clock.Time(c*cfg.DRAM.RanksPerChannel+rk+1) * cfg.DRAM.TREFI /
+				clock.Time(cfg.DRAM.Channels*cfg.DRAM.RanksPerChannel+1)
+			ch.refreshDue[rk] = cfg.DRAM.TREFI + off
+		}
+		ch.wake = ch.refreshDue[0]
+		for _, d := range ch.refreshDue {
+			ch.wake = clock.Min(ch.wake, d)
+		}
+		clear(ch.coreRank)
+		clear(ch.batchSlot)
+		clear(ch.batchLoad)
+		ch.batchCores = ch.batchCores[:0]
+	}
+	s.ids = 0
+	clear(s.detectionsByCore)
+	s.nextWake = clock.Never
+	for _, ch := range s.chans {
+		s.nextWake = clock.Min(s.nextWake, ch.wake)
+	}
+}
+
 // Config returns the controller configuration.
 func (s *System) Config() Config { return s.cfg }
 

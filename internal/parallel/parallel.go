@@ -45,18 +45,39 @@ func (r Runner) workers(n int) int {
 	return w
 }
 
+// PoolSize reports the number of worker slots Do and DoWorkers will use for
+// n jobs — the upper bound (exclusive) on the worker index passed to a
+// DoWorkers job. Callers sizing per-worker scratch state (one recycled
+// machine per slot, say) allocate exactly this many entries. Serial
+// execution is one slot; n <= 0 needs none.
+func (r Runner) PoolSize(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return r.workers(n)
+}
+
 // Do runs job(0) … job(n-1) on the pool and returns the error of the
 // lowest-indexed failing job, or nil. After a failure no new jobs start;
 // jobs already running complete before Do returns, so the caller may reuse
 // or discard shared inputs immediately.
 func (r Runner) Do(n int, job func(i int) error) error {
+	return r.DoWorkers(n, func(_, i int) error { return job(i) })
+}
+
+// DoWorkers is Do with the executing pool slot exposed: job(worker, i) runs
+// job i on slot worker, where 0 <= worker < PoolSize(n). A slot runs at most
+// one job at a time, so per-worker state indexed by the slot needs no
+// locking. Serial execution (pool size 1) reports worker 0 for every job —
+// the byte-identical baseline the equivalence tests compare against.
+func (r Runner) DoWorkers(n int, job func(worker, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
 	workers := r.workers(n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := job(i); err != nil {
+			if err := job(0, i); err != nil {
 				return err
 			}
 		}
@@ -74,14 +95,14 @@ func (r Runner) Do(n int, job func(i int) error) error {
 	next.Store(-1)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1))
 				if i >= n || stop.Load() {
 					return
 				}
-				if err := job(i); err != nil {
+				if err := job(worker, i); err != nil {
 					mu.Lock()
 					if i < firstIdx {
 						firstIdx, firstErr = i, err
@@ -90,7 +111,7 @@ func (r Runner) Do(n int, job func(i int) error) error {
 					stop.Store(true)
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return firstErr
@@ -100,9 +121,16 @@ func (r Runner) Do(n int, job func(i int) error) error {
 // GOMAXPROCS, 1 = serial) and returns the results in index order. On error
 // the results are discarded and the lowest-indexed failure is returned.
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapWorkers(workers, n, func(_, i int) (T, error) { return fn(i) })
+}
+
+// MapWorkers is Map with the executing pool slot exposed to fn, for callers
+// carrying per-worker scratch state across jobs (size it with
+// Runner.PoolSize). Results land in index order regardless of scheduling.
+func MapWorkers[T any](workers, n int, fn func(worker, i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := Runner{Workers: workers}.Do(n, func(i int) error {
-		v, err := fn(i)
+	err := Runner{Workers: workers}.DoWorkers(n, func(worker, i int) error {
+		v, err := fn(worker, i)
 		if err != nil {
 			return err
 		}

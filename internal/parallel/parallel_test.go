@@ -121,3 +121,65 @@ func TestWorkersResolution(t *testing.T) {
 		t.Errorf("explicit Workers ignored: got %d, want 2", got)
 	}
 }
+
+func TestPoolSize(t *testing.T) {
+	if got := (Runner{Workers: 4}).PoolSize(0); got != 0 {
+		t.Errorf("PoolSize(0) = %d, want 0", got)
+	}
+	if got := (Runner{Workers: 4}).PoolSize(2); got != 2 {
+		t.Errorf("PoolSize capped at job count: got %d, want 2", got)
+	}
+	if got := (Runner{Workers: 1}).PoolSize(100); got != 1 {
+		t.Errorf("serial PoolSize = %d, want 1", got)
+	}
+	if got := (Runner{Workers: 4}).PoolSize(100); got != 4 {
+		t.Errorf("PoolSize = %d, want 4", got)
+	}
+}
+
+// TestDoWorkersSlotContract pins the two properties per-worker state relies
+// on: every reported worker index is within [0, PoolSize(n)), and a slot
+// never runs two jobs concurrently — a non-reentrant per-slot flag flipped
+// around each job must never observe itself already set.
+func TestDoWorkersSlotContract(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		r := Runner{Workers: workers}
+		const n = 2000
+		pool := r.PoolSize(n)
+		busy := make([]atomic.Bool, pool)
+		seen := make([]atomic.Bool, pool) // worker indices observed
+		err := r.DoWorkers(n, func(worker, i int) error {
+			if worker < 0 || worker >= pool {
+				return fmt.Errorf("worker %d outside pool of %d", worker, pool)
+			}
+			if !busy[worker].CompareAndSwap(false, true) {
+				return fmt.Errorf("slot %d ran two jobs at once", worker)
+			}
+			seen[worker].Store(true)
+			busy[worker].Store(false)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if workers == 1 && !seen[0].Load() {
+			t.Fatal("serial run never reported slot 0")
+		}
+	}
+}
+
+// TestMapWorkersMatchesMap pins that the worker-indexed variant orders
+// results identically to Map for every pool size.
+func TestMapWorkersMatchesMap(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		got, err := MapWorkers(workers, 50, func(_, i int) (int, error) { return i * 3, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*3 {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*3)
+			}
+		}
+	}
+}

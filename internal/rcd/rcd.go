@@ -44,6 +44,20 @@ func New(p dram.Params, def defense.Defense) *RCD {
 // Defense returns the hosted defense.
 func (r *RCD) Defense() defense.Defense { return r.def }
 
+// SetDefense swaps the hosted defense (machine-reuse path: each experiment
+// grid cell brings its own freshly built defense to the recycled RCD).
+func (r *RCD) SetDefense(def defense.Defense) { r.def = def }
+
+// Reset returns the RCD to its just-constructed state, reusing the pending
+// queues' backing storage. The hosted defense is reset by the caller (it may
+// have reuse semantics of its own, e.g. TWiCe's in-place table Clear).
+func (r *RCD) Reset() {
+	for i := range r.pendingARR {
+		r.pendingARR[i] = r.pendingARR[i][:0]
+	}
+	r.stats = Stats{}
+}
+
 // Stats returns a copy of the event counters.
 func (r *RCD) Stats() Stats { return r.stats }
 
@@ -57,7 +71,7 @@ func (r *RCD) ObserveACT(bank dram.BankID, row int, now clock.Time) defense.Acti
 		r.stats.Detections++
 	}
 	if len(a.ARRAggressors) > 0 {
-		i := bank.Flat(r.p)
+		i := bank.Flat(&r.p)
 		r.pendingARR[i] = append(r.pendingARR[i], a.ARRAggressors...)
 		a.ARRAggressors = nil
 	}
@@ -74,14 +88,14 @@ func (r *RCD) ObserveRefresh(rank dram.RankID, now clock.Time) {
 
 // HasPendingARR reports whether the bank owes an adjacent-row refresh.
 func (r *RCD) HasPendingARR(bank dram.BankID) bool {
-	return len(r.pendingARR[bank.Flat(r.p)]) > 0
+	return len(r.pendingARR[bank.Flat(&r.p)]) > 0
 }
 
 // TakeARR pops the next pending aggressor row for the bank; the controller
 // calls this at the aggressor's precharge point, where the RCD substitutes
 // the ARR command. ok is false when nothing is pending.
 func (r *RCD) TakeARR(bank dram.BankID) (row int, ok bool) {
-	i := bank.Flat(r.p)
+	i := bank.Flat(&r.p)
 	q := r.pendingARR[i]
 	if len(q) == 0 {
 		return 0, false

@@ -32,9 +32,9 @@ func benchDefense(b *testing.B, cfg Config) *core.TWiCe {
 
 // BenchmarkSimRunAllocs measures the single-run hot path end to end — the
 // event loop, the controller's per-step scans, and the request submit path —
-// with allocation reporting. The perf trajectory (BENCH_2.json, written by
-// cmd/perfbench) tracks ns/op and allocs/op from this benchmark; the
-// per-request allocation count is also reported directly.
+// with allocation reporting. The perf trajectory (the BENCH_N.json files,
+// written by cmd/perfbench) tracks ns/op and allocs/op from this benchmark;
+// the per-request allocation count is also reported directly.
 func BenchmarkSimRunAllocs(b *testing.B) {
 	const requests = 20000
 	cfg := benchConfig(1)
@@ -47,6 +47,39 @@ func BenchmarkSimRunAllocs(b *testing.B) {
 	var served int64
 	for i := 0; i < b.N; i++ {
 		res, err := Run(cfg, benchDefense(b, cfg), workload.S3(amap, cfg.DRAM, 5000),
+			Limits{MaxRequests: requests, MaxTime: 10 * clock.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		served = res.Counters.RequestsServed
+	}
+	b.ReportMetric(float64(served), "requests/op")
+}
+
+// BenchmarkSimRunReusedAllocs measures the grid-cell hot path: the same S3
+// run as BenchmarkSimRunAllocs, but through a CellRunner that recycles one
+// machine across ops the way the experiment grids recycle one machine per
+// worker. The delta against BenchmarkSimRunAllocs is the per-cell cost of
+// machine construction (device disturb arrays, caches, controller queues)
+// that reuse eliminates.
+func BenchmarkSimRunReusedAllocs(b *testing.B) {
+	const requests = 20000
+	cfg := benchConfig(1)
+	amap, err := mc.NewAddrMap(cfg.DRAM)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runner := NewCellRunner(cfg)
+	// Pay for machine construction before the timer starts.
+	if _, err := runner.Run(benchDefense(b, cfg), workload.S3(amap, cfg.DRAM, 5000),
+		Limits{MaxRequests: 100, MaxTime: 10 * clock.Second}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var served int64
+	for i := 0; i < b.N; i++ {
+		res, err := runner.Run(benchDefense(b, cfg), workload.S3(amap, cfg.DRAM, 5000),
 			Limits{MaxRequests: requests, MaxTime: 10 * clock.Second})
 		if err != nil {
 			b.Fatal(err)

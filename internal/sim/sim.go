@@ -111,6 +111,12 @@ type Machine struct {
 	cores []*cpu.Core
 	cnt   *stats.Counters
 
+	// hierPool keeps the last-built cache hierarchy across Reuse calls so a
+	// workload with the same core count gets it back Reset instead of paying
+	// for a fresh ~16 MB L3 allocation (hier is nil while a cache-bypassing
+	// workload runs, but the pooled hierarchy survives for the next user).
+	hierPool *cache.Hierarchy
+
 	// served counts completed memory requests against Limits.MaxRequests.
 	served int64
 	// free pools completed requests for reuse: the controller hands each
@@ -156,7 +162,6 @@ func NewMachine(cfg Config, def defense.Defense, w workload.Workload) (*Machine,
 	m := &Machine{
 		cfg: cfg, w: w, def: def,
 		dev: dev, amap: amap, sys: sys, cnt: cnt,
-		cores: make([]*cpu.Core, w.Cores()),
 	}
 	if !w.BypassCache {
 		hcfg := cfg.Cache
@@ -164,23 +169,74 @@ func NewMachine(cfg Config, def defense.Defense, w workload.Workload) (*Machine,
 		if m.hier, err = cache.NewHierarchy(hcfg); err != nil {
 			return nil, err
 		}
+		m.hierPool = m.hier
 	}
-	for i := range m.cores {
-		if m.cores[i], err = cpu.New(i, cfg.CPU, w.Gens[i]); err != nil {
-			return nil, err
-		}
+	if err := m.buildCores(); err != nil {
+		return nil, err
 	}
 	m.bestEffortDone = func(clock.Time) { m.served++ }
+	sys.SetRelease(m.release)
+	return m, nil
+}
+
+// buildCores (re)creates the per-core CPUs and their completion callbacks
+// for the machine's current workload.
+func (m *Machine) buildCores() error {
+	m.cores = make([]*cpu.Core, m.w.Cores())
 	m.demandDone = make([]func(clock.Time), len(m.cores))
 	for i := range m.cores {
-		c := m.cores[i]
+		c, err := cpu.New(i, m.cfg.CPU, m.w.Gens[i])
+		if err != nil {
+			return err
+		}
+		m.cores[i] = c
 		m.demandDone[i] = func(clock.Time) {
 			c.OnComplete()
 			m.served++
 		}
 	}
-	sys.SetRelease(m.release)
-	return m, nil
+	return nil
+}
+
+// Reuse re-arms the machine for another run with a new defense and workload,
+// resetting every stateful component in place: device disturbance arrays,
+// remap tables (fuse data — they survive untouched, which is why reuse is
+// only valid within one Config, whose Seed generated them), the timing
+// checker, controller queues and scratch, the RCD, counters, caches, and the
+// request pool. A reused machine must be byte-identical in behaviour to a
+// machine freshly built with NewMachine(cfg, def, w) — the reuse equivalence
+// test pins that contract.
+func (m *Machine) Reuse(def defense.Defense, w workload.Workload) error {
+	if err := w.Validate(); err != nil {
+		return err
+	}
+	if def == nil {
+		def = defense.Nop{}
+	}
+	m.w = w
+	m.def = def
+	m.dev.Reset()
+	m.sys.Reset()
+	m.sys.RCD().Reset()
+	m.sys.RCD().SetDefense(def)
+	*m.cnt = stats.Counters{}
+	m.served = 0
+	m.hier = nil
+	if !w.BypassCache {
+		if m.hierPool != nil && m.hierPool.Cores() == w.Cores() {
+			m.hierPool.Reset()
+		} else {
+			hcfg := m.cfg.Cache
+			hcfg.Cores = w.Cores()
+			h, err := cache.NewHierarchy(hcfg)
+			if err != nil {
+				return err
+			}
+			m.hierPool = h
+		}
+		m.hier = m.hierPool
+	}
+	return m.buildCores()
 }
 
 // release returns a completed request to the pool for reuse.
@@ -343,4 +399,32 @@ func Run(cfg Config, def defense.Defense, w workload.Workload, lim Limits) (*Res
 		return nil, err
 	}
 	return m.Run(lim)
+}
+
+// CellRunner runs a sequence of (defense, workload) cells that share one
+// machine Config, recycling a single Machine across them. The first Run
+// builds the machine; later Runs reset it in place, which skips the ~60 MB
+// of construction (device disturb arrays, caches, tables) each cell would
+// otherwise pay. One CellRunner serves one goroutine — typically one per
+// parallel grid worker.
+type CellRunner struct {
+	cfg Config
+	m   *Machine
+}
+
+// NewCellRunner prepares a runner for machines built from cfg.
+func NewCellRunner(cfg Config) *CellRunner { return &CellRunner{cfg: cfg} }
+
+// Run executes one cell, reusing the worker's machine when it exists.
+func (r *CellRunner) Run(def defense.Defense, w workload.Workload, lim Limits) (*Result, error) {
+	if r.m == nil {
+		m, err := NewMachine(r.cfg, def, w)
+		if err != nil {
+			return nil, err
+		}
+		r.m = m
+	} else if err := r.m.Reuse(def, w); err != nil {
+		return nil, err
+	}
+	return r.m.Run(lim)
 }

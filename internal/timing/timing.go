@@ -92,8 +92,25 @@ func NewChecker(p dram.Params) *Checker {
 	return c
 }
 
-func (c *Checker) bank(id dram.BankID) *bankState { return &c.banks[id.Flat(c.p)] }
-func (c *Checker) rank(id dram.BankID) *rankState { return &c.ranks[id.RankID().Flat(c.p)] }
+// Reset returns the checker to its just-constructed state (all commands
+// legal at time zero), reusing the per-bank and per-rank state slices.
+func (c *Checker) Reset() {
+	for i := range c.banks {
+		c.banks[i] = bankState{}
+	}
+	for i := range c.ranks {
+		c.ranks[i] = rankState{lastACT: -clock.Never, lastCol: -clock.Never}
+		for j := range c.ranks[i].faw {
+			c.ranks[i].faw[j] = -clock.Never
+		}
+	}
+	for i := range c.busFree {
+		c.busFree[i] = 0
+	}
+}
+
+func (c *Checker) bank(id dram.BankID) *bankState { return &c.banks[id.Flat(&c.p)] }
+func (c *Checker) rank(id dram.BankID) *rankState { return &c.ranks[id.RankID().Flat(&c.p)] }
 
 // RowOpen reports whether the checker believes the bank has an open row.
 func (c *Checker) RowOpen(id dram.BankID) bool { return c.bank(id).rowOpen }
@@ -233,7 +250,7 @@ func (c *Checker) RecordWrite(id dram.BankID, t clock.Time) (clock.Time, error) 
 // not inside an ARR block.
 func (c *Checker) EarliestREF(id dram.RankID, now clock.Time) clock.Time {
 	t := now
-	r := &c.ranks[id.Flat(c.p)]
+	r := &c.ranks[id.Flat(&c.p)]
 	t = clock.Max(t, r.blockedUntil)
 	t = clock.Max(t, r.refReady)
 	for ba := 0; ba < c.p.BanksPerRank; ba++ {
@@ -253,7 +270,7 @@ func (c *Checker) RecordREF(id dram.RankID, t clock.Time) error {
 	if e := c.EarliestREF(id, t); t < e {
 		return fmt.Errorf("timing: REF to %v at %v violates constraints (earliest %v)", id, t, e)
 	}
-	r := &c.ranks[id.Flat(c.p)]
+	r := &c.ranks[id.Flat(&c.p)]
 	r.refReady = t + c.p.TRFC
 	for ba := 0; ba < c.p.BanksPerRank; ba++ {
 		b := c.bank(dram.BankID{Channel: id.Channel, Rank: id.Rank, Bank: ba})
@@ -300,7 +317,7 @@ func (c *Checker) RecordARR(id dram.BankID, t clock.Time) error {
 // RankBlockedUntil reports the end of the rank's current ARR nack window
 // (zero if none); the controller uses it to count nacked command attempts.
 func (c *Checker) RankBlockedUntil(id dram.RankID) clock.Time {
-	return c.ranks[id.Flat(c.p)].blockedUntil
+	return c.ranks[id.Flat(&c.p)].blockedUntil
 }
 
 // BankBusyUntil reports the end of the bank's REF/ARR occupancy.
