@@ -4,24 +4,33 @@
 // Usage:
 //
 //	paperrepro [-scale quick|paper] [-only table1|table2|table3|table4|fig7a|fig7b|area]
-//	           [-parallel N] [-cpuprofile out.pprof] [-memprofile out.pprof]
+//	           [-parallel N] [-progress] [-telemetry dir] [-debug-addr host:port]
+//	           [-cpuprofile out.pprof] [-memprofile out.pprof]
 //
 // The quick scale (default) shrinks the refresh window and every threshold
 // 64×, preserving the reported ratios while finishing in minutes; the paper
 // scale runs the exact Table 2 parameters and takes correspondingly longer.
 // -parallel runs the independent (workload, defense) cells of each grid on
 // that many workers (0, the default, uses every CPU; 1 forces serial); output
-// is byte-identical at any worker count.
+// is byte-identical at any worker count. -progress reports completed/total
+// cells and an ETA on stderr as grid cells finish. -telemetry writes each
+// grid experiment's per-cell event totals, histograms, and occupancy series
+// as <dir>/<experiment>.csv and .jsonl — byte-identical at any worker count.
+// -debug-addr serves expvar (including live grid progress counters) and
+// net/http/pprof for poking at a long paper-scale run.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/probe"
 )
 
 func main() {
@@ -30,6 +39,9 @@ func main() {
 	requests := flag.Int64("requests", 0, "override demand requests per cell")
 	csvDir := flag.String("csv", "", "directory to also write fig7a.csv / fig7b.csv into")
 	par := flag.Int("parallel", 0, "worker goroutines per experiment grid (0 = all CPUs, 1 = serial)")
+	progressFlag := flag.Bool("progress", false, "report completed/total grid cells and ETA on stderr")
+	telemetryDir := flag.String("telemetry", "", "directory to write per-experiment telemetry CSV/JSONL into")
+	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -48,6 +60,73 @@ func main() {
 		s.Requests = *requests
 	}
 	s.Parallel = *par
+
+	var cellsDone, cellsTotal expvar.Int
+	if *debugAddr != "" {
+		expvar.Publish("grid_cells_done", &cellsDone)
+		expvar.Publish("grid_cells_total", &cellsTotal)
+		_, addr, err := probe.ServeDebug(*debugAddr)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "paperrepro: debug server on http://%s/debug/vars and /debug/pprof/\n", addr)
+	}
+	var col *probe.Collector
+	if *telemetryDir != "" {
+		col = &probe.Collector{}
+		s.Telemetry = col
+	}
+	// instrument points one grid experiment's progress hook at the stderr
+	// meter and the expvar counters; the returned finish func ends the meter
+	// line. Telemetry attachment is independent — it rides on s.Telemetry.
+	instrument := func(s *experiments.Scale, label string) func() {
+		if !*progressFlag && *debugAddr == "" {
+			return func() {}
+		}
+		var p *probe.Progress
+		if *progressFlag {
+			p = probe.NewProgress(os.Stderr, label, time.Now)
+		}
+		s.Progress = func(done, total int) {
+			cellsDone.Set(int64(done))
+			cellsTotal.Set(int64(total))
+			if p != nil {
+				p.Update(done, total)
+			}
+		}
+		return func() {
+			if p != nil {
+				p.Finish()
+			}
+		}
+	}
+	// writeTelemetry exports the collector's per-cell series after one grid
+	// experiment (no-op without -telemetry).
+	writeTelemetry := func(name string) {
+		if col == nil {
+			return
+		}
+		if err := os.MkdirAll(*telemetryDir, 0o755); err != nil {
+			fail(err)
+		}
+		base := *telemetryDir + "/" + name
+		writeOne := func(path string, write func(f *os.File) error) {
+			f, err := os.Create(path)
+			if err != nil {
+				fail(err)
+			}
+			if err := write(f); err != nil {
+				_ = f.Close()
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+		}
+		writeOne(base+".csv", func(f *os.File) error { return col.WriteCSV(f) })
+		writeOne(base+".jsonl", func(f *os.File) error { return col.WriteJSONL(f) })
+		fmt.Fprintf(os.Stderr, "(wrote %s.csv and %s.jsonl)\n", base, base)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -104,10 +183,13 @@ func main() {
 	}
 	if want("fig7b") {
 		fmt.Println("== Figure 7(b): synthetic workloads ==")
+		finish := instrument(&s, "fig7b")
 		cells, err := experiments.Figure7b(s)
+		finish()
 		if err != nil {
 			fail(err)
 		}
+		writeTelemetry("fig7b")
 		writeCSV(*csvDir, "fig7b.csv", cells)
 		fmt.Print(experiments.RenderCells("additional ACTs, synthetics", cells))
 		fmt.Println("paper: TWiCe 0/0/0.006%; PARA-p ≈ p; CBT-256 up to 4.82% (S2), 0.39% (S3)")
@@ -117,10 +199,13 @@ func main() {
 		fmt.Println("== Figure 7(a): multi-programmed and multi-threaded workloads ==")
 		fmt.Printf("(running %d SPEC apps + 6 workloads × %d defenses; this is the long one)\n",
 			len(s.SPECApps), len(experiments.DefenseNames()))
+		finish := instrument(&s, "fig7a")
 		cells, err := experiments.Figure7a(s)
+		finish()
 		if err != nil {
 			fail(err)
 		}
+		writeTelemetry("fig7a")
 		writeCSV(*csvDir, "fig7a.csv", cells)
 		fmt.Print(experiments.RenderCells("additional ACTs, normal workloads", cells))
 		fmt.Println("paper: TWiCe 0 everywhere; PARA ≈ p; CBT-256 ≈ 0.05% average")
@@ -128,10 +213,13 @@ func main() {
 	}
 	if want("table1") {
 		fmt.Println("== Table 1: qualitative comparison, quantified ==")
+		finish := instrument(&s, "table1")
 		rows, err := experiments.Table1(s)
+		finish()
 		if err != nil {
 			fail(err)
 		}
+		writeTelemetry("table1")
 		fmt.Print(experiments.RenderTable1(rows))
 		fmt.Println("paper: CRA/CBT high adversarial drop; PARA small but undetecting; TWiCe smallest + detects")
 		fmt.Println()

@@ -1,7 +1,8 @@
 // Command perfbench measures the repository's performance envelope and
-// writes it to a JSON file (BENCH_3.json by default) so successive PRs can
-// track the trajectory. Earlier trajectory points (BENCH_2.json, ...) are
-// never overwritten: each measurement generation writes its own file.
+// writes it to a JSON file (BENCH_4.json by default) so successive PRs can
+// track the trajectory. Earlier trajectory points (BENCH_2.json,
+// BENCH_3.json, ...) are never overwritten: each measurement generation
+// writes its own file.
 //
 // Measurements:
 //
@@ -12,6 +13,10 @@
 //     BenchmarkSimRunReusedAllocs), where the machine is constructed once
 //     and reset in place per op — the bytes/op delta is the per-cell
 //     construction cost reuse eliminates;
+//   - the recycled run again with a telemetry recorder attached
+//     (sim_run_s3_probed): the probed-over-detached ns/op ratio is the
+//     observability tax, which the probe design keeps to the nil checks
+//     plus histogram increments;
 //   - grid throughput: cells/sec for the Figure 7(b) grid executed serially
 //     (Parallel = 1) and on the worker pool, with the speedup and the real
 //     GOMAXPROCS/worker count recorded so a degenerate single-CPU
@@ -24,7 +29,7 @@
 //
 // Usage:
 //
-//	perfbench [-out BENCH_3.json] [-requests 40000] [-parallel 0]
+//	perfbench [-out BENCH_4.json] [-requests 40000] [-parallel 0]
 package main
 
 import (
@@ -41,6 +46,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/mc"
 	"repro/internal/parallel"
+	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -72,12 +78,14 @@ type report struct {
 	GOMAXPROCS    int            `json:"gomaxprocs"`
 	HotPath       hotPath        `json:"sim_run_s3"`
 	HotPathReused hotPath        `json:"sim_run_s3_reused"`
+	HotPathProbed hotPath        `json:"sim_run_s3_probed"`
 	BytesRatio    float64        `json:"fresh_over_reused_bytes"`
+	ProbeOverhead float64        `json:"probed_over_detached_ns"`
 	Figure7b      gridThroughput `json:"figure7b_grid"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_3.json", "output JSON file")
+	out := flag.String("out", "BENCH_4.json", "output JSON file")
 	requests := flag.Int64("requests", 40000, "demand requests per Figure 7(b) cell")
 	par := flag.Int("parallel", 0, "workers for the parallel grid leg (0 = all CPUs)")
 	flag.Parse()
@@ -85,7 +93,7 @@ func main() {
 	rep := report{GOMAXPROCS: runtime.GOMAXPROCS(0)}
 
 	fmt.Println("perfbench: hot path (S3 through the event loop, fresh machine per op)...")
-	hp, err := benchHotPath(false)
+	hp, err := benchHotPath(false, false)
 	if err != nil {
 		fail(err)
 	}
@@ -94,7 +102,7 @@ func main() {
 		hp.NsPerOp, hp.AllocsPerOp, hp.BytesPerOp, hp.Requests, hp.NsPerReq)
 
 	fmt.Println("perfbench: hot path, recycled machine (grid-cell mode)...")
-	rp, err := benchHotPath(true)
+	rp, err := benchHotPath(true, false)
 	if err != nil {
 		fail(err)
 	}
@@ -104,6 +112,18 @@ func main() {
 	}
 	fmt.Printf("  %d ns/op, %d allocs/op, %d B/op (%.0fx fewer bytes than fresh)\n",
 		rp.NsPerOp, rp.AllocsPerOp, rp.BytesPerOp, rep.BytesRatio)
+
+	fmt.Println("perfbench: hot path, recycled machine with telemetry probes attached...")
+	pp, err := benchHotPath(true, true)
+	if err != nil {
+		fail(err)
+	}
+	rep.HotPathProbed = pp
+	if rp.NsPerOp > 0 {
+		rep.ProbeOverhead = float64(pp.NsPerOp) / float64(rp.NsPerOp)
+	}
+	fmt.Printf("  %d ns/op, %d allocs/op, %d B/op (%.3fx the detached run)\n",
+		pp.NsPerOp, pp.AllocsPerOp, pp.BytesPerOp, rep.ProbeOverhead)
 
 	fmt.Println("perfbench: Figure 7(b) grid, serial vs parallel...")
 	gt, err := benchGrid(*requests, *par)
@@ -131,8 +151,11 @@ func main() {
 // benchHotPath times the single-run event loop with allocation accounting.
 // With reuse set, one machine is constructed up front and recycled across
 // ops through a sim.CellRunner, exactly as the experiment grids recycle one
-// machine per worker.
-func benchHotPath(reuse bool) (hotPath, error) {
+// machine per worker. With probed set, each op additionally builds and
+// attaches a fresh telemetry recorder — the same per-cell pattern the
+// -telemetry grids use — so the measured delta is the full observability
+// cost, recorder construction included.
+func benchHotPath(reuse, probed bool) (hotPath, error) {
 	const requests = 20000
 	cfg := sim.DefaultConfig(1)
 	cfg.DRAM.TREFW = clock.Millisecond
@@ -174,6 +197,11 @@ func benchHotPath(reuse bool) (hotPath, error) {
 			w := workload.S3(amap, cfg.DRAM, 5000)
 			var r *sim.Result
 			if reuse {
+				var rec *probe.Recorder
+				if probed {
+					rec = probe.NewRecorder(probe.Config{})
+				}
+				runner.SetRecorder(rec)
 				r, err = runner.Run(tw, w, lim)
 			} else {
 				r, err = sim.Run(cfg, tw, w, lim)

@@ -12,7 +12,10 @@
 // additional-ACT ratio, detections, flips, and (for TWiCe sweeps) the
 // provable table bound at each point. Points are independent simulations, so
 // -parallel runs them concurrently; CSV rows are emitted in value order
-// regardless of which point finishes first.
+// regardless of which point finishes first. -progress reports completed/total
+// points and an ETA on stderr; -telemetry writes each point's event totals,
+// histograms, and occupancy series as <dir>/sweep.csv and <dir>/sweep.jsonl.
+// Neither flag changes the stdout CSV by a byte.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/clock"
 	"repro/internal/core"
@@ -29,6 +33,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/mc"
 	"repro/internal/parallel"
+	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -39,6 +44,8 @@ func main() {
 	requests := flag.Int64("requests", 150000, "demand requests per point")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	par := flag.Int("parallel", 0, "worker goroutines across sweep points (0 = all CPUs, 1 = serial)")
+	progressFlag := flag.Bool("progress", false, "report completed/total sweep points and ETA on stderr")
+	telemetryDir := flag.String("telemetry", "", "directory to write per-point telemetry CSV/JSONL into")
 	flag.Parse()
 	if *values == "" {
 		fail(fmt.Errorf("-values is required"))
@@ -47,22 +54,75 @@ func main() {
 	s := experiments.QuickScale()
 	s.Seed = *seed
 	points := strings.Split(*values, ",")
-	lines, err := parallel.Map(*par, len(points), func(i int) (string, error) {
-		return runPoint(*param, strings.TrimSpace(points[i]), s, *requests, *seed)
+
+	pool := parallel.Runner{Workers: *par}
+	if *progressFlag {
+		p := probe.NewProgress(os.Stderr, "sweep", time.Now)
+		pool.OnDone = p.Update
+		defer p.Finish()
+	}
+	var col *probe.Collector
+	if *telemetryDir != "" {
+		col = &probe.Collector{}
+		col.Start(len(points))
+	}
+	lines, err := parallel.MapOn(pool, len(points), func(i int) (string, error) {
+		raw := strings.TrimSpace(points[i])
+		var rec *probe.Recorder
+		if col != nil {
+			rec = probe.NewRecorder(col.Config)
+		}
+		line, err := runPoint(*param, raw, s, *requests, *seed, rec)
+		if err != nil {
+			return "", err
+		}
+		if rec != nil {
+			col.Record(i, probe.CellLabel{Workload: "S3", Defense: *param + "=" + raw}, rec.Snapshot())
+		}
+		return line, nil
 	})
 	if err != nil {
 		fail(err)
 	}
+	writeTelemetry(*telemetryDir, col)
 	fmt.Println("param,value,extra_act_ratio,detections,arrs,nacks,flips,table_entries")
 	for _, line := range lines {
 		fmt.Print(line)
 	}
 }
 
+// writeTelemetry exports the collected per-point series as sweep.csv and
+// sweep.jsonl in dir (no-op without -telemetry).
+func writeTelemetry(dir string, col *probe.Collector) {
+	if col == nil {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fail(err)
+	}
+	writeOne := func(path string, write func(f *os.File) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			fail(err)
+		}
+		if err := write(f); err != nil {
+			_ = f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+	writeOne(dir+"/sweep.csv", func(f *os.File) error { return col.WriteCSV(f) })
+	writeOne(dir+"/sweep.jsonl", func(f *os.File) error { return col.WriteJSONL(f) })
+	fmt.Fprintf(os.Stderr, "sweep: wrote %s/sweep.csv and %s/sweep.jsonl\n", dir, dir)
+}
+
 // runPoint simulates one sweep point and returns its CSV row (with trailing
 // newline). Each point builds its own config, defense, and workload, so
-// points share no mutable state and may run on any worker.
-func runPoint(param, raw string, s experiments.Scale, requests, seed int64) (string, error) {
+// points share no mutable state and may run on any worker. rec, when
+// non-nil, records the point's telemetry.
+func runPoint(param, raw string, s experiments.Scale, requests, seed int64, rec *probe.Recorder) (string, error) {
 	cfg := sim.DefaultConfig(1)
 	cfg.DRAM.TREFW = s.TREFW
 	cfg.DRAM.NTh = s.NTh
@@ -129,8 +189,12 @@ func runPoint(param, raw string, s experiments.Scale, requests, seed int64) (str
 	if err != nil {
 		return "", err
 	}
-	res, err := sim.Run(cfg, def, workload.S3(amap, cfg.DRAM, 5000),
-		sim.Limits{MaxRequests: requests, MaxTime: 10 * clock.Second})
+	m, err := sim.NewMachine(cfg, def, workload.S3(amap, cfg.DRAM, 5000))
+	if err != nil {
+		return "", err
+	}
+	m.SetRecorder(rec)
+	res, err := m.Run(sim.Limits{MaxRequests: requests, MaxTime: 10 * clock.Second})
 	if err != nil {
 		return "", err
 	}

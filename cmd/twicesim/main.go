@@ -14,6 +14,11 @@
 // TWiCe-sep, PARA-0.001, PARA-0.002, CBT-256, CRA, PRoHIT. A comma-separated
 // -defense list runs each defense as an independent simulation — concurrently
 // under -parallel — and prints the reports in list order.
+//
+// -telemetry attaches event probes to every run and writes histogram,
+// occupancy, and gauge series as <dir>/run.csv and <dir>/run.jsonl (one cell
+// per defense, byte-identical at any -parallel value). -debug-addr serves
+// expvar and net/http/pprof while the simulations run.
 package main
 
 import (
@@ -30,6 +35,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/mc"
 	"repro/internal/parallel"
+	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -45,6 +51,8 @@ func main() {
 	hammerRow := flag.Int("row", 5000, "aggressor/victim row for S3 and double-sided")
 	replay := flag.String("replay", "", "replay a recorded trace file instead of a named workload")
 	par := flag.Int("parallel", 0, "worker goroutines across -defense list entries (0 = all CPUs, 1 = serial)")
+	telemetryDir := flag.String("telemetry", "", "directory to write run telemetry CSV/JSONL into")
+	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	list := flag.Bool("list", false, "list workloads and defenses, then exit")
@@ -114,31 +122,89 @@ func main() {
 		}
 	}
 
+	if *debugAddr != "" {
+		_, addr, err := probe.ServeDebug(*debugAddr)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "twicesim: debug server on http://%s/debug/vars and /debug/pprof/\n", addr)
+	}
+	var col *probe.Collector
+	if *telemetryDir != "" {
+		col = &probe.Collector{}
+	}
+
 	dnames := strings.Split(*dname, ",")
+	if col != nil {
+		col.Start(len(dnames))
+	}
 	reports, err := parallel.Map(*par, len(dnames), func(i int) (string, error) {
 		w, err := buildW()
 		if err != nil {
 			return "", err
 		}
-		def, err := s.NewDefense(strings.TrimSpace(dnames[i]), cfg.DRAM)
+		name := strings.TrimSpace(dnames[i])
+		def, err := s.NewDefense(name, cfg.DRAM)
 		if err != nil {
 			return "", err
 		}
-		res, err := sim.Run(cfg, def, w, sim.Limits{MaxRequests: *requests, MaxTime: 30 * clock.Second})
+		if col == nil {
+			res, err := sim.Run(cfg, def, w, sim.Limits{MaxRequests: *requests, MaxTime: 30 * clock.Second})
+			if err != nil {
+				return "", err
+			}
+			return report(res), nil
+		}
+		m, err := sim.NewMachine(cfg, def, w)
 		if err != nil {
 			return "", err
 		}
+		rec := probe.NewRecorder(col.Config)
+		m.SetRecorder(rec)
+		res, err := m.Run(sim.Limits{MaxRequests: *requests, MaxTime: 30 * clock.Second})
+		if err != nil {
+			return "", err
+		}
+		col.Record(i, probe.CellLabel{Workload: res.Workload, Defense: name}, rec.Snapshot())
 		return report(res), nil
 	})
 	if err != nil {
 		fail(err)
 	}
+	writeTelemetry(*telemetryDir, col)
 	for i, r := range reports {
 		if i > 0 {
 			fmt.Println(strings.Repeat("-", 60))
 		}
 		fmt.Print(r)
 	}
+}
+
+// writeTelemetry exports the collected per-defense series as run.csv and
+// run.jsonl in dir (no-op without -telemetry).
+func writeTelemetry(dir string, col *probe.Collector) {
+	if col == nil {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fail(err)
+	}
+	writeOne := func(path string, write func(f *os.File) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			fail(err)
+		}
+		if err := write(f); err != nil {
+			_ = f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+	writeOne(dir+"/run.csv", func(f *os.File) error { return col.WriteCSV(f) })
+	writeOne(dir+"/run.jsonl", func(f *os.File) error { return col.WriteJSONL(f) })
+	fmt.Fprintf(os.Stderr, "twicesim: wrote %s/run.csv and %s/run.jsonl\n", dir, dir)
 }
 
 // report renders the activity report for one completed run.

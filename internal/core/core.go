@@ -15,6 +15,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/defense"
 	"repro/internal/dram"
+	"repro/internal/probe"
 )
 
 // Org selects the physical table organization.
@@ -183,6 +184,11 @@ type TWiCe struct {
 	pending []int // auto-refresh ticks seen per bank since last prune
 
 	detections int64
+
+	// probes, when non-nil, receives table telemetry (prune-tick occupancy,
+	// insert spills). The nil check is the whole detached cost; the spill
+	// delta read sits on the insert path only, never on steady-state Touch.
+	probes *probe.Recorder
 }
 
 var _ defense.Defense = (*TWiCe)(nil)
@@ -222,16 +228,30 @@ func newTable(cfg Config, bound int) Table {
 // Name implements defense.Defense.
 func (t *TWiCe) Name() string { return "TWiCe-" + t.cfg.Org.String() }
 
+// SetProbes implements probe.Instrumented: attach (nil detaches) a telemetry
+// recorder. Reset leaves the attachment alone — the machine owns it.
+func (t *TWiCe) SetProbes(p *probe.Recorder) {
+	if p != nil {
+		p.EnsureTopology(len(t.tables))
+	}
+	t.probes = p
+}
+
 // Config returns the engine's normalized configuration.
 func (t *TWiCe) Config() Config { return t.cfg }
 
 // OnActivate implements defense.Defense: allocate or bump the row's counter;
 // when the count reaches thRH, deallocate the entry and request an ARR for
 // the row (its physical neighbours are refreshed inside the device).
-func (t *TWiCe) OnActivate(bank dram.BankID, row int, _ clock.Time) defense.Action {
-	tb := t.tables[bank.Flat(&t.cfg.DRAM)]
+func (t *TWiCe) OnActivate(bank dram.BankID, row int, now clock.Time) defense.Action {
+	i := bank.Flat(&t.cfg.DRAM)
+	tb := t.tables[i]
 	e, ok := tb.Touch(row)
 	if !ok {
+		var spillsBefore int64
+		if t.probes != nil {
+			spillsBefore = tb.Ops().Spills
+		}
 		if err := tb.Insert(row); err != nil {
 			// Under real DRAM pacing (≤ maxact ACTs per tREFI) the sizing
 			// theorem makes overflow unreachable. A caller that outruns the
@@ -240,6 +260,9 @@ func (t *TWiCe) OnActivate(bank dram.BankID, row int, _ clock.Time) defense.Acti
 			// preserves soundness (no unmonitored accumulation) at the cost
 			// of a spurious ARR.
 			return defense.Action{ARRAggressors: []int{row}}
+		}
+		if t.probes != nil && tb.Ops().Spills > spillsBefore {
+			t.probes.Spill(i, now)
 		}
 		return defense.Action{}
 	}
@@ -254,12 +277,15 @@ func (t *TWiCe) OnActivate(bank dram.BankID, row int, _ clock.Time) defense.Acti
 // OnRefreshTick implements defense.Defense: the table update runs in the
 // shadow of the bank's auto-refresh (§5.2); with PruneEvery > 1 only every
 // k-th tick prunes.
-func (t *TWiCe) OnRefreshTick(bank dram.BankID, _ clock.Time) {
+func (t *TWiCe) OnRefreshTick(bank dram.BankID, now clock.Time) {
 	i := bank.Flat(&t.cfg.DRAM)
 	t.pending[i]++
 	if t.pending[i] >= t.cfg.PruneEvery {
 		t.pending[i] = 0
-		t.tables[i].Prune(t.thPI)
+		pruned := t.tables[i].Prune(t.thPI)
+		if t.probes != nil {
+			t.probes.TableTick(i, t.tables[i].Len(), pruned, now)
+		}
 	}
 }
 
@@ -291,6 +317,7 @@ func (t *TWiCe) Ops() OpStats {
 		s.SetsProbed += o.SetsProbed
 		s.PreferredHits += o.PreferredHits
 		s.Inserts += o.Inserts
+		s.Spills += o.Spills
 		s.Removes += o.Removes
 		s.Prunes += o.Prunes
 		s.EntriesPruned += o.EntriesPruned

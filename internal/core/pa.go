@@ -130,6 +130,7 @@ func (t *paTable) Insert(row int) error {
 			return fmt.Errorf("core: pa table full (%d entries); sizing invariant violated", t.Cap())
 		}
 		t.sb[s][p]++
+		t.ops.Spills++
 	}
 	t.sets[s][w] = Entry{Row: row, ActCnt: 1, Life: 1}
 	t.len++

@@ -77,8 +77,11 @@ func (t *sepTable) Insert(row int) error {
 		if err := t.narrow.Insert(row); err != nil {
 			return fmt.Errorf("core: separated narrow sub-table: %w", err)
 		}
-	} else if err := t.wide.Insert(row); err != nil {
-		return fmt.Errorf("core: separated table full: %w", err)
+	} else {
+		if err := t.wide.Insert(row); err != nil {
+			return fmt.Errorf("core: separated table full: %w", err)
+		}
+		t.ops.Spills++
 	}
 	t.ops.Inserts++
 	if n := t.Len(); n > t.ops.PeakOccupancy {

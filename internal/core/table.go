@@ -19,6 +19,7 @@ type OpStats struct {
 	SetsProbed    int64 // total sets examined across all searches (fa: 1 per search)
 	PreferredHits int64 // pa-TWiCe searches satisfied by the preferred set alone
 	Inserts       int64
+	Spills        int64 // inserts landing outside the preferred location (pa set borrow, sep wide spill)
 	Removes       int64
 	Prunes        int64 // prune passes (one table update per auto-refresh)
 	EntriesPruned int64

@@ -41,6 +41,10 @@ type Bank struct {
 	// current vulnerability epoch, so one over-threshold row produces one
 	// flip record rather than one per subsequent ACT.
 	flipped []bool
+	// hwm is the highest disturbance count any row of the bank has reached —
+	// the per-bank high-water mark the telemetry layer samples. Maintained
+	// inline in hammer (one compare per disturbed neighbour).
+	hwm int32
 
 	refreshPtr int // next physical row to be auto-refreshed
 	openRow    int // currently open logical row, or -1
@@ -118,6 +122,9 @@ func (b *Bank) hammer(phys int, now clock.Time) {
 			continue
 		}
 		b.disturb[n]++
+		if b.disturb[n] > b.hwm {
+			b.hwm = b.disturb[n]
+		}
 		if int(b.disturb[n]) > b.p.NTh && !b.flipped[n] {
 			b.flipped[n] = true
 			b.stats.Flips++
@@ -227,6 +234,10 @@ func (b *Bank) RefreshLogicalNeighbors(aggressorLogical int, now clock.Time) (in
 // Disturbance returns the disturbance count of a physical row (test hook).
 func (b *Bank) Disturbance(phys int) int { return int(b.disturb[phys]) }
 
+// DisturbHighWater returns the highest disturbance count any row of the bank
+// has ever reached (refreshes clear counters but not the high-water mark).
+func (b *Bank) DisturbHighWater() int { return int(b.hwm) }
+
 // Reset restores the bank to its just-constructed state while keeping its
 // storage and remap table: disturbance counters and flip marks cleared, the
 // refresh pointer rewound, recorded flips dropped (the backing array is
@@ -244,6 +255,7 @@ func (b *Bank) Reset() {
 	b.openRow = -1
 	b.flips = b.flips[:0]
 	b.stats = BankStats{}
+	b.hwm = 0
 }
 
 // Device models a full multi-channel DRAM population: one Bank per

@@ -27,7 +27,7 @@ func TestCSVByteIdentity(t *testing.T) {
 		var cells []Cell
 		runner := sim.NewCellRunner(cfg)
 		for _, dname := range []string{"none", "TWiCe", "PARA-0.002"} {
-			c, err := s.runCell(runner, "S3", workload.S3(amap, cfg.DRAM, 5000), dname)
+			c, err := s.runCell(runner, "S3", workload.S3(amap, cfg.DRAM, 5000), dname, nil)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/mc"
 	"repro/internal/parallel"
+	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -46,6 +47,16 @@ type Scale struct {
 	// Results are identical either way — cells are independent machines and
 	// the engine reassembles them by index (see internal/parallel).
 	Parallel int
+	// Progress, when set, receives (done, total) after each grid cell
+	// completes — the hook cmd-level progress meters plug into. It observes
+	// execution only and must not affect results; with Parallel != 1 it is
+	// called from worker goroutines and must be safe for concurrent use.
+	Progress func(done, total int)
+	// Telemetry, when set, attaches one probe.Recorder per grid cell and
+	// records its snapshot into the collector by job index, so the exported
+	// series are byte-identical across serial and parallel runs. Each call
+	// to a grid experiment restarts the collector.
+	Telemetry *probe.Collector
 }
 
 // PaperScale reproduces the paper's parameters exactly (Table 2): thRH =
@@ -173,8 +184,10 @@ type Cell struct {
 // runCell executes one workload under one defense on the given cell runner,
 // recycling the runner's machine (device, caches, controller, queues) across
 // calls. The defense is built fresh per cell — it is the one component whose
-// type varies across a grid.
-func (s Scale) runCell(r *sim.CellRunner, wname string, w workload.Workload, dname string) (Cell, error) {
+// type varies across a grid. rec, when non-nil, is attached to the machine
+// for the duration of the run; a nil rec detaches any probes a previous cell
+// left on the recycled machine.
+func (s Scale) runCell(r *sim.CellRunner, wname string, w workload.Workload, dname string, rec *probe.Recorder) (Cell, error) {
 	requests := s.Requests
 	if wname == "S2" || wname == "adversarial-S2" {
 		requests = s.s2MinRequests()
@@ -183,6 +196,7 @@ func (s Scale) runCell(r *sim.CellRunner, wname string, w workload.Workload, dna
 	if err != nil {
 		return Cell{}, err
 	}
+	r.SetRecorder(rec)
 	res, err := r.Run(def, w, sim.Limits{MaxRequests: requests, MaxTime: 30 * clock.Second})
 	if err != nil {
 		return Cell{}, fmt.Errorf("experiments: %s/%s: %w", wname, dname, err)
@@ -220,9 +234,13 @@ type cellJob struct {
 // still cannot affect the result: cells share nothing but the immutable
 // Scale parameters, and results land by index.
 func (s Scale) runGrid(jobs []cellJob) ([]Cell, error) {
-	runners := make([]*sim.CellRunner, parallel.Runner{Workers: s.Parallel}.PoolSize(len(jobs)))
+	pool := parallel.Runner{Workers: s.Parallel, OnDone: s.Progress}
+	runners := make([]*sim.CellRunner, pool.PoolSize(len(jobs)))
 	cfg := s.machineConfig()
-	return parallel.MapWorkers(s.Parallel, len(jobs), func(worker, i int) (Cell, error) {
+	if s.Telemetry != nil {
+		s.Telemetry.Start(len(jobs))
+	}
+	return parallel.MapWorkersOn(pool, len(jobs), func(worker, i int) (Cell, error) {
 		if runners[worker] == nil {
 			runners[worker] = sim.NewCellRunner(cfg)
 		}
@@ -231,7 +249,21 @@ func (s Scale) runGrid(jobs []cellJob) ([]Cell, error) {
 		if err != nil {
 			return Cell{}, err
 		}
-		return s.runCell(runners[worker], j.wname, w, j.dname)
+		// One recorder per cell, not per worker: recorders accumulate, and
+		// the collector slots them by job index so serial and parallel runs
+		// export identical series.
+		var rec *probe.Recorder
+		if s.Telemetry != nil {
+			rec = probe.NewRecorder(s.Telemetry.Config)
+		}
+		c, err := s.runCell(runners[worker], j.wname, w, j.dname, rec)
+		if err != nil {
+			return Cell{}, err
+		}
+		if rec != nil {
+			s.Telemetry.Record(i, probe.CellLabel{Workload: j.wname, Defense: j.dname}, rec.Snapshot())
+		}
+		return c, nil
 	})
 }
 

@@ -29,6 +29,7 @@ var fixtures = []struct {
 	{"nondeterm", "repro/internal/workload/fixture"},
 	{"droppederr", "repro/cmd/fixture"},
 	{"truncconv", "repro/internal/mc/fixture"},
+	{"telemetry", "repro/internal/probe/fixture"},
 	{"clean", "repro/internal/sim/clean"},
 }
 

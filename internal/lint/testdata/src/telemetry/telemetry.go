@@ -1,0 +1,71 @@
+// Package fixture exercises the telemetry-export pitfalls the probe layer
+// must avoid. The test analyzes it as repro/internal/probe/fixture, i.e.
+// inside the internal scope: histogram buckets held in a map must not drive
+// export row order (maprange), and telemetry writers must not drop flush or
+// sync errors (droppederr) — a truncated telemetry file that reports success
+// is worse than no telemetry at all.
+package fixture
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// exportBucketsBad walks histogram buckets straight out of a map: the CSV
+// row order would change run to run, breaking byte-identity.
+func exportBucketsBad(buckets map[int64]int64, w io.Writer) {
+	for b, n := range buckets { // want maprange "nondeterministic iteration over map buckets"
+		fmt.Fprintf(w, "%d,%d\n", b, n)
+	}
+}
+
+// exportBucketsGood collects the bounds under an ordered annotation, sorts
+// them, and emits rows in bound order — the exporter idiom.
+func exportBucketsGood(buckets map[int64]int64, w io.Writer) {
+	bounds := make([]int64, 0, len(buckets))
+	//twicelint:ordered bounds are sorted before any row is emitted
+	for b := range buckets {
+		bounds = append(bounds, b)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	for _, b := range bounds {
+		fmt.Fprintf(w, "%d,%d\n", b, buckets[b])
+	}
+}
+
+// sumBucketsGood needs no order: addition commutes, so ranging the map
+// directly is fine and stays unflagged.
+func sumBucketsGood(buckets map[int64]int64) int64 {
+	var total int64
+	for _, n := range buckets {
+		total += n
+	}
+	return total
+}
+
+// flushBad drops the buffered telemetry writer's flush error; the final
+// buffered rows can vanish without anyone noticing.
+func flushBad(bw *bufio.Writer) {
+	bw.Flush() // want droppederr "call to (*bufio.Writer).Flush discards its error result"
+}
+
+// syncBad drops the sync error on the exported file.
+func syncBad(f *os.File) {
+	defer f.Sync() // want droppederr "deferred call to (*os.File).Sync discards its error result"
+}
+
+// flushGood propagates the flush error — what the probe exporters do.
+func flushGood(bw *bufio.Writer) error {
+	return bw.Flush()
+}
+
+// closeGood checks the close error on a written telemetry file.
+func closeGood(f *os.File) error {
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("telemetry export: %w", err)
+	}
+	return nil
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/defense"
 	"repro/internal/dram"
+	"repro/internal/probe"
 	"repro/internal/rcd"
 	"repro/internal/stats"
 	"repro/internal/timing"
@@ -141,6 +142,9 @@ type System struct {
 	// activation triggered them — the paper's "penalize malicious users"
 	// capability (§1) that only counter-based schemes provide.
 	detectionsByCore map[int]int64
+	// probes, when non-nil, receives hot-path telemetry events. The nil
+	// check at each hook site is the entire no-sink cost (see internal/probe).
+	probes *probe.Recorder
 }
 
 // New wires a controller over the given device and RCD. The counters object
@@ -199,6 +203,16 @@ func New(cfg Config, dev *dram.Device, r *rcd.RCD, cnt *stats.Counters) (*System
 // completion callback has returned and the system holds no further reference
 // to it. Pass nil to disable pooling (the default).
 func (s *System) SetRelease(fn func(*Request)) { s.release = fn }
+
+// SetProbes attaches (or, with nil, detaches) a telemetry recorder. The
+// recorder must not be shared across concurrently running systems; Reset
+// does not touch the attachment — the machine owns it.
+func (s *System) SetProbes(p *probe.Recorder) {
+	if p != nil {
+		p.EnsureTopology(s.cfg.DRAM.TotalBanks())
+	}
+	s.probes = p
+}
 
 // Reset returns the controller and its timing checker to their
 // just-constructed state while reusing queues, scratch, and bank arrays. The
@@ -283,6 +297,9 @@ func (s *System) Enqueue(req *Request, now clock.Time) bool {
 		ch.wqueue = append(ch.wqueue, req)
 		ch.wake = clock.Min(ch.wake, now)
 		s.nextWake = clock.Min(s.nextWake, ch.wake)
+		if s.probes != nil {
+			s.probes.Enqueue(len(ch.wqueue), now)
+		}
 		return true
 	}
 	if len(ch.queue) >= s.cfg.QueueDepth {
@@ -292,6 +309,9 @@ func (s *System) Enqueue(req *Request, now clock.Time) bool {
 	ch.queue = append(ch.queue, req)
 	ch.wake = clock.Min(ch.wake, now)
 	s.nextWake = clock.Min(s.nextWake, ch.wake)
+	if s.probes != nil {
+		s.probes.Enqueue(len(ch.queue), now)
+	}
 	return true
 }
 
@@ -584,6 +604,9 @@ func (ch *channel) countNack(q *Request, id dram.BankID, now clock.Time) {
 		q.nackWindow = blocked
 		ch.sys.rcd.Nack()
 		ch.sys.cnt.Nacks++
+		if ch.sys.probes != nil {
+			ch.sys.probes.Nack(now)
+		}
 	}
 }
 
@@ -692,6 +715,9 @@ func (ch *channel) doREF(rk int, t clock.Time) {
 	}
 	s.rcd.ObserveRefresh(rankID, t)
 	s.cnt.Refreshes++
+	if s.probes != nil {
+		s.probes.Refresh(t)
+	}
 	ch.refreshDue[rk] += s.cfg.DRAM.TREFI
 }
 
@@ -707,6 +733,9 @@ func (ch *channel) doARR(rk, ba int, t clock.Time) {
 	must(err)
 	s.cnt.ARRs++
 	s.cnt.DefenseACTs += int64(n)
+	if s.probes != nil {
+		s.probes.ARR(id.Flat(&s.cfg.DRAM), t)
+	}
 }
 
 func (ch *channel) doMit(rk, ba int, t clock.Time) {
@@ -739,6 +768,9 @@ func (ch *channel) doACT(q *Request, t clock.Time) {
 	b.hits = 0
 	q.neededACT = true
 	s.cnt.NormalACTs++
+	if s.probes != nil {
+		s.probes.ACT(id.Flat(&s.cfg.DRAM), t)
+	}
 	ch.applyAction(id, q.Core, s.rcd.ObserveACT(id, q.Addr.Row, t))
 }
 
@@ -800,6 +832,9 @@ func (ch *channel) doColumn(q *Request, t clock.Time) {
 		completion = t // posted write: the issuer does not wait
 	}
 	s.cnt.AddLatency(completion - q.Arrival)
+	if s.probes != nil {
+		s.probes.Dequeue(len(ch.queue)+len(ch.wqueue), completion-q.Arrival)
+	}
 	if q.Done != nil {
 		q.Done(completion)
 	}

@@ -31,6 +31,16 @@ type Runner struct {
 	// goroutine, which spawns nothing and is the byte-identical baseline
 	// the equivalence tests compare against.
 	Workers int
+
+	// OnDone, when set, is called after each job returns nil, with the
+	// number of jobs completed so far and the total — the hook progress
+	// meters plug into. Serial execution calls it in index order from the
+	// calling goroutine; parallel execution calls it from whichever worker
+	// finished (the callback must be safe for concurrent use), and while
+	// each call's done count is unique, calls may be observed out of order.
+	// The hook observes execution only — it must not affect results, which
+	// stay byte-identical with or without it.
+	OnDone func(done, total int)
 }
 
 // workers resolves the effective pool size for n jobs.
@@ -80,12 +90,16 @@ func (r Runner) DoWorkers(n int, job func(worker, i int) error) error {
 			if err := job(0, i); err != nil {
 				return err
 			}
+			if r.OnDone != nil {
+				r.OnDone(i+1, n)
+			}
 		}
 		return nil
 	}
 
 	var (
 		next     atomic.Int64 // next job index to dispatch, minus one
+		done     atomic.Int64 // jobs completed successfully (for OnDone)
 		stop     atomic.Bool  // set on first failure: stop dispatching
 		mu       sync.Mutex   // guards firstIdx/firstErr
 		firstIdx = n
@@ -109,6 +123,10 @@ func (r Runner) DoWorkers(n int, job func(worker, i int) error) error {
 					}
 					mu.Unlock()
 					stop.Store(true)
+					continue
+				}
+				if r.OnDone != nil {
+					r.OnDone(int(done.Add(1)), n)
 				}
 			}
 		}(w)
@@ -128,8 +146,20 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 // carrying per-worker scratch state across jobs (size it with
 // Runner.PoolSize). Results land in index order regardless of scheduling.
 func MapWorkers[T any](workers, n int, fn func(worker, i int) (T, error)) ([]T, error) {
+	return MapWorkersOn(Runner{Workers: workers}, n, fn)
+}
+
+// MapOn is Map executed on a fully configured Runner (progress hook, pool
+// size). Free functions rather than methods because Go methods cannot take
+// type parameters.
+func MapOn[T any](r Runner, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapWorkersOn(r, n, func(_, i int) (T, error) { return fn(i) })
+}
+
+// MapWorkersOn is MapWorkers executed on a fully configured Runner.
+func MapWorkersOn[T any](r Runner, n int, fn func(worker, i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := Runner{Workers: workers}.DoWorkers(n, func(worker, i int) error {
+	err := r.DoWorkers(n, func(worker, i int) error {
 		v, err := fn(worker, i)
 		if err != nil {
 			return err

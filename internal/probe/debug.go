@@ -1,0 +1,39 @@
+package probe
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ServeDebug starts a background HTTP server on addr exposing the process's
+// expvar counters at /debug/vars and the net/http/pprof handlers under
+// /debug/pprof/ — live introspection for long grid runs (-debug-addr in the
+// commands). It returns the server and the bound address (useful with
+// ":0"). The caller owns shutdown; letting process exit tear it down is fine
+// for CLI use.
+//
+// The server runs on its own mux, so enabling it never mutates
+// http.DefaultServeMux or affects code that does.
+func ServeDebug(addr string) (*http.Server, string, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		// Serve returns http.ErrServerClosed on shutdown; a debug server has
+		// nowhere to report later errors, so they are intentionally dropped.
+		_ = srv.Serve(ln)
+	}()
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,337 @@
+// Package probe is the simulator's observability layer: zero-alloc event
+// hooks on the hot paths (ACT, ARR, nack, prune, entry spill, refresh, queue
+// enqueue/dequeue), deterministic fixed-bucket histograms, and time-series
+// samplers keyed to *simulated* clock time.
+//
+// The attachment contract keeps the no-sink cost at a single nil check: the
+// instrumented components hold a concrete *Recorder pointer and guard every
+// hook call with `if probes != nil`. No interface dispatch, no closure, no
+// allocation sits between the hot path and the recorder; the AllocsPerRun
+// ceilings in internal/core and internal/sim hold with probes attached or
+// detached.
+//
+// Determinism is the second contract: every recorded quantity is a function
+// of the simulated event stream alone. Samples are timestamped with the
+// simulated clock (never wall time), series are appended in event order, and
+// the export layer iterates only slices — so a snapshot taken after a serial
+// run, a parallel run, or a recycled-machine run of the same seed serializes
+// to identical bytes. twicelint's nondeterm/maprange rules apply to this
+// package like any other internal package and keep it that way.
+package probe
+
+import (
+	"repro/internal/clock"
+	"repro/internal/stats"
+)
+
+// DefaultMaxSamples bounds each time series when Config.MaxSamples is zero.
+// At 32 bytes per occupancy sample this caps a series at ~32 MB.
+const DefaultMaxSamples = 1 << 20
+
+// Config sizes a Recorder.
+type Config struct {
+	// Banks is the flat bank count of the observed machine; per-bank state
+	// (inter-ARR timestamps) is sized from it. Machine attachment fills it
+	// in (EnsureTopology) when zero, so callers rarely need to set it.
+	Banks int
+	// SampleEvery is the gauge-sampling period in simulated time. Zero lets
+	// the machine default it to tREFI at attachment.
+	SampleEvery clock.Time
+	// MaxSamples caps the occupancy series and each gauge series
+	// (0 = DefaultMaxSamples). Samples past the cap are counted in
+	// Snapshot.DroppedSamples rather than silently lost.
+	MaxSamples int
+}
+
+// EventTotals counts every probe event the recorder observed.
+type EventTotals struct {
+	ACTs          int64 `json:"acts"`           // demand row activations
+	ARRs          int64 `json:"arrs"`           // adjacent-row-refresh commands executed
+	ARRsQueued    int64 `json:"arrs_queued"`    // aggressors filed as pending ARR work at the RCD
+	Nacks         int64 `json:"nacks"`          // controller commands nacked during ARR windows
+	Refreshes     int64 `json:"refreshes"`      // per-rank auto-refresh commands
+	Enqueues      int64 `json:"enqueues"`       // requests accepted into a controller queue
+	Dequeues      int64 `json:"dequeues"`       // requests completed and removed from a queue
+	TableTicks    int64 `json:"table_ticks"`    // TWiCe prune passes observed (per bank per PI)
+	EntriesPruned int64 `json:"entries_pruned"` // table entries invalidated by pruning
+	Spills        int64 `json:"spills"`         // inserts landing outside their preferred location
+}
+
+// OccSample is one point of the TWiCe table-occupancy trajectory: the valid
+// entry count of one bank's table immediately after a prune pass — the
+// quantity Figure 5 of the paper plots against the §4.4 bound.
+type OccSample struct {
+	T         clock.Time `json:"t_ps"`
+	Bank      int        `json:"bank"`
+	Occupancy int        `json:"occupancy"`
+	Pruned    int        `json:"pruned"`
+}
+
+// GaugePoint is one sample of a named gauge.
+type GaugePoint struct {
+	T clock.Time `json:"t_ps"`
+	V int64      `json:"v"`
+}
+
+// gauge is a registered sampler: fn is read at each sampling tick.
+type gauge struct {
+	name    string
+	fn      func() int64
+	samples []GaugePoint
+}
+
+// Recorder accumulates telemetry for one simulation run. It is not safe for
+// concurrent use; in grid runs each cell gets its own recorder (the cells
+// are already independent machines), which is also what makes parallel
+// telemetry deterministic.
+type Recorder struct {
+	cfg    Config
+	totals EventTotals
+
+	latency  *stats.Histogram // request completion - arrival, in ps
+	depth    *stats.Histogram // queue occupancy observed at enqueue/dequeue
+	interARR *stats.Histogram // same-bank ARR-to-ARR distance, in ps
+
+	lastARR []clock.Time // per flat bank; clock.Never = no ARR seen yet
+
+	occ    []OccSample
+	maxOcc int
+
+	gauges     []gauge
+	nextSample clock.Time
+
+	dropped int64
+}
+
+// latencyBounds doubles from 50 ns: DRAM hits land in the first buckets,
+// refresh- and drain-delayed requests spread across the tail, and anything
+// past ~1.6 ms overflows into the final bucket.
+func latencyBounds() []int64 {
+	b := make([]int64, 0, 16)
+	v := int64(50 * clock.Nanosecond)
+	for i := 0; i < 16; i++ {
+		b = append(b, v)
+		v *= 2
+	}
+	return b
+}
+
+// interARRBounds doubles from 100 ns up to ~1.6 s of simulated time.
+func interARRBounds() []int64 {
+	b := make([]int64, 0, 24)
+	v := int64(100 * clock.Nanosecond)
+	for i := 0; i < 24; i++ {
+		b = append(b, v)
+		v *= 2
+	}
+	return b
+}
+
+// depthBounds covers the controller's 64-entry queues with fine low-end
+// resolution (most enqueues see a near-empty queue).
+func depthBounds() []int64 {
+	return []int64{0, 1, 2, 4, 8, 16, 32, 48, 64, 96, 128}
+}
+
+// NewRecorder builds a recorder. Zero-value Config fields pick defaults at
+// machine attachment (Banks, SampleEvery) or construction (MaxSamples).
+func NewRecorder(cfg Config) *Recorder {
+	if cfg.MaxSamples <= 0 {
+		cfg.MaxSamples = DefaultMaxSamples
+	}
+	r := &Recorder{
+		cfg:      cfg,
+		latency:  stats.NewHistogram(latencyBounds()...),
+		depth:    stats.NewHistogram(depthBounds()...),
+		interARR: stats.NewHistogram(interARRBounds()...),
+	}
+	r.EnsureTopology(cfg.Banks)
+	return r
+}
+
+// EnsureTopology sizes per-bank state for the given flat bank count. The
+// machine calls it at attachment; calling it again with the same count is a
+// no-op, so a recorder may be attached before or after Config.Banks is known.
+func (r *Recorder) EnsureTopology(banks int) {
+	if banks <= len(r.lastARR) {
+		return
+	}
+	old := r.lastARR
+	r.lastARR = make([]clock.Time, banks)
+	copy(r.lastARR, old)
+	for i := len(old); i < banks; i++ {
+		r.lastARR[i] = clock.Never
+	}
+	r.cfg.Banks = banks
+}
+
+// SetDefaultSampleEvery installs the gauge-sampling period unless the
+// recorder's Config pinned one explicitly. The machine passes tREFI.
+func (r *Recorder) SetDefaultSampleEvery(d clock.Time) {
+	if r.cfg.SampleEvery <= 0 {
+		r.cfg.SampleEvery = d
+	}
+}
+
+// AddGauge registers a named sampler read at every sampling tick. A second
+// registration under the same name replaces the sampler but keeps the
+// recorded series (the machine re-registers its gauges on re-attachment).
+func (r *Recorder) AddGauge(name string, fn func() int64) {
+	for i := range r.gauges {
+		if r.gauges[i].name == name {
+			r.gauges[i].fn = fn
+			return
+		}
+	}
+	r.gauges = append(r.gauges, gauge{name: name, fn: fn})
+}
+
+// ---- hot-path hooks ----
+//
+// Callers guard each call with `if probes != nil`; the methods themselves
+// assume a non-nil receiver and do only counter increments, histogram
+// observes (a binary search over a fixed bound slice), and amortized-O(1)
+// slice appends bounded by MaxSamples.
+
+// ACT records one demand row activation.
+func (r *Recorder) ACT(bank int, now clock.Time) {
+	r.totals.ACTs++
+	_ = bank
+	_ = now
+}
+
+// ARR records one executed adjacent-row refresh and the simulated-time
+// distance to the bank's previous ARR.
+func (r *Recorder) ARR(bank int, now clock.Time) {
+	r.totals.ARRs++
+	if bank < len(r.lastARR) {
+		if last := r.lastARR[bank]; last != clock.Never {
+			r.interARR.Observe(int64(now - last))
+		}
+		r.lastARR[bank] = now
+	}
+}
+
+// ARRQueued records one aggressor filed as pending ARR work at the RCD.
+func (r *Recorder) ARRQueued(bank, pending int, now clock.Time) {
+	r.totals.ARRsQueued++
+	_, _, _ = bank, pending, now
+}
+
+// Nack records one nacked controller command.
+func (r *Recorder) Nack(now clock.Time) {
+	r.totals.Nacks++
+	_ = now
+}
+
+// Enqueue records a request accepted into a controller queue with the
+// queue's post-insert occupancy.
+func (r *Recorder) Enqueue(depth int, now clock.Time) {
+	r.totals.Enqueues++
+	r.depth.Observe(int64(depth))
+	_ = now
+}
+
+// Dequeue records a completed request: its service latency and the channel's
+// remaining queue occupancy.
+func (r *Recorder) Dequeue(depth int, latency clock.Time) {
+	r.totals.Dequeues++
+	r.depth.Observe(int64(depth))
+	r.latency.Observe(int64(latency))
+}
+
+// Spill records one table insert that landed outside its preferred location
+// (pa-TWiCe set borrowing, separated-table wide spill).
+func (r *Recorder) Spill(bank int, now clock.Time) {
+	r.totals.Spills++
+	_, _ = bank, now
+}
+
+// TableTick records one TWiCe prune pass: the bank's post-prune table
+// occupancy and the number of entries invalidated. The per-(bank, PI) series
+// it appends to is the Figure 5 trajectory.
+func (r *Recorder) TableTick(bank, occupancy, pruned int, now clock.Time) {
+	r.totals.TableTicks++
+	r.totals.EntriesPruned += int64(pruned)
+	if occupancy > r.maxOcc {
+		r.maxOcc = occupancy
+	}
+	if len(r.occ) >= r.cfg.MaxSamples {
+		r.dropped++
+		return
+	}
+	r.occ = append(r.occ, OccSample{T: now, Bank: bank, Occupancy: occupancy, Pruned: pruned})
+}
+
+// Refresh records one per-rank auto-refresh command and drives the periodic
+// gauge samplers: when simulated time has crossed the sampling boundary,
+// every registered gauge is read once. Keying the schedule to refresh events
+// (which every run has, at deterministic times) keeps sampling byte-identical
+// across serial, parallel, and recycled-machine runs.
+func (r *Recorder) Refresh(now clock.Time) {
+	r.totals.Refreshes++
+	if now < r.nextSample {
+		return
+	}
+	for i := range r.gauges {
+		g := &r.gauges[i]
+		if g.fn == nil {
+			continue
+		}
+		if len(g.samples) >= r.cfg.MaxSamples {
+			r.dropped++
+			continue
+		}
+		g.samples = append(g.samples, GaugePoint{T: now, V: g.fn()})
+	}
+	if step := r.cfg.SampleEvery; step > 0 {
+		for r.nextSample <= now {
+			r.nextSample += step
+		}
+	} else {
+		r.nextSample = now + 1
+	}
+}
+
+// ---- read side ----
+
+// Totals returns the event counters.
+func (r *Recorder) Totals() EventTotals { return r.totals }
+
+// MaxOccupancy returns the highest post-prune table occupancy observed on
+// any bank — the value the §4.4 bound (553 entries for the paper's DDR4-2400
+// parameters) must dominate.
+func (r *Recorder) MaxOccupancy() int { return r.maxOcc }
+
+// OccupancySeries returns the recorded occupancy trajectory (shared storage;
+// callers must not modify it).
+func (r *Recorder) OccupancySeries() []OccSample { return r.occ }
+
+// DroppedSamples returns how many samples the MaxSamples cap discarded.
+func (r *Recorder) DroppedSamples() int64 { return r.dropped }
+
+// Reset clears all recorded data while keeping topology, bounds, and gauge
+// registrations, so one recorder can observe several runs back to back.
+func (r *Recorder) Reset() {
+	r.totals = EventTotals{}
+	r.latency = stats.NewHistogram(latencyBounds()...)
+	r.depth = stats.NewHistogram(depthBounds()...)
+	r.interARR = stats.NewHistogram(interARRBounds()...)
+	for i := range r.lastARR {
+		r.lastARR[i] = clock.Never
+	}
+	r.occ = r.occ[:0]
+	r.maxOcc = 0
+	for i := range r.gauges {
+		r.gauges[i].samples = r.gauges[i].samples[:0]
+	}
+	r.nextSample = 0
+	r.dropped = 0
+}
+
+// Instrumented is implemented by components that accept a probe recorder
+// (TWiCe's engine, and any later defense that wants table-level telemetry).
+// SetProbes(nil) detaches.
+type Instrumented interface {
+	SetProbes(*Recorder)
+}

@@ -1,0 +1,182 @@
+package probe
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/clock"
+)
+
+func TestRecorderTotals(t *testing.T) {
+	r := NewRecorder(Config{Banks: 2, SampleEvery: clock.Microsecond})
+	r.ACT(0, 10)
+	r.ACT(1, 20)
+	r.ARR(0, 30)
+	r.ARRQueued(0, 1, 25)
+	r.Nack(40)
+	r.Enqueue(3, 50)
+	r.Dequeue(2, 400)
+	r.Spill(1, 60)
+	r.TableTick(0, 5, 2, 70)
+	r.Refresh(80)
+
+	want := EventTotals{
+		ACTs: 2, ARRs: 1, ARRsQueued: 1, Nacks: 1, Refreshes: 1,
+		Enqueues: 1, Dequeues: 1, TableTicks: 1, EntriesPruned: 2, Spills: 1,
+	}
+	if got := r.Totals(); got != want {
+		t.Errorf("totals = %+v, want %+v", got, want)
+	}
+	if got := r.MaxOccupancy(); got != 5 {
+		t.Errorf("MaxOccupancy = %d, want 5", got)
+	}
+	if got := r.OccupancySeries(); len(got) != 1 || got[0] != (OccSample{T: 70, Bank: 0, Occupancy: 5, Pruned: 2}) {
+		t.Errorf("occupancy series = %+v", got)
+	}
+}
+
+func TestInterARRDistance(t *testing.T) {
+	r := NewRecorder(Config{Banks: 2})
+	// First ARR on a bank has no predecessor; only same-bank pairs count.
+	r.ARR(0, 1000)
+	r.ARR(1, 2000)
+	r.ARR(0, 5000)
+	s := r.Snapshot()
+	var inter HistogramSnapshot
+	for _, h := range s.Histograms {
+		if h.Name == "inter_arr_ps" {
+			inter = h
+		}
+	}
+	if inter.Total != 1 {
+		t.Fatalf("inter-ARR observations = %d, want 1 (only the same-bank pair)", inter.Total)
+	}
+	if inter.Max != 4000 {
+		t.Errorf("inter-ARR max = %d, want 4000", inter.Max)
+	}
+}
+
+func TestTableTickSampleCap(t *testing.T) {
+	r := NewRecorder(Config{Banks: 1, MaxSamples: 2})
+	for i := 0; i < 5; i++ {
+		r.TableTick(0, i, 0, clock.Time(i))
+	}
+	if got := len(r.OccupancySeries()); got != 2 {
+		t.Errorf("series length = %d, want the MaxSamples cap of 2", got)
+	}
+	if got := r.DroppedSamples(); got != 3 {
+		t.Errorf("dropped = %d, want 3", got)
+	}
+	// The high-water mark keeps tracking past the cap.
+	if got := r.MaxOccupancy(); got != 4 {
+		t.Errorf("MaxOccupancy = %d, want 4", got)
+	}
+}
+
+func TestRefreshGaugeSampling(t *testing.T) {
+	r := NewRecorder(Config{SampleEvery: 100})
+	v := int64(0)
+	r.AddGauge("g", func() int64 { return v })
+
+	v = 1
+	r.Refresh(0) // crosses the initial boundary at t=0
+	v = 2
+	r.Refresh(50) // within the period: no sample
+	v = 3
+	r.Refresh(100) // next boundary
+	v = 4
+	r.Refresh(150)
+	v = 5
+	r.Refresh(260) // skipped past 200; boundary advances beyond now
+
+	s := r.Snapshot()
+	if len(s.Gauges) != 1 || s.Gauges[0].Name != "g" {
+		t.Fatalf("gauges = %+v", s.Gauges)
+	}
+	want := []GaugePoint{{T: 0, V: 1}, {T: 100, V: 3}, {T: 260, V: 5}}
+	if !reflect.DeepEqual(s.Gauges[0].Samples, want) {
+		t.Errorf("samples = %+v, want %+v", s.Gauges[0].Samples, want)
+	}
+	if r.Totals().Refreshes != 5 {
+		t.Errorf("refreshes = %d, want 5", r.Totals().Refreshes)
+	}
+}
+
+func TestAddGaugeReplacementKeepsSeries(t *testing.T) {
+	r := NewRecorder(Config{SampleEvery: 10})
+	r.AddGauge("g", func() int64 { return 1 })
+	r.Refresh(0)
+	// Re-registration (machine re-attachment) swaps the sampler but the
+	// recorded series continues.
+	r.AddGauge("g", func() int64 { return 2 })
+	r.Refresh(10)
+	s := r.Snapshot()
+	want := []GaugePoint{{T: 0, V: 1}, {T: 10, V: 2}}
+	if len(s.Gauges) != 1 || !reflect.DeepEqual(s.Gauges[0].Samples, want) {
+		t.Errorf("gauges = %+v, want one series %+v", s.Gauges, want)
+	}
+}
+
+func TestEnsureTopologyGrowsOnly(t *testing.T) {
+	r := NewRecorder(Config{})
+	r.EnsureTopology(4)
+	r.ARR(3, 100)
+	r.EnsureTopology(2) // shrink request: no-op, state survives
+	r.ARR(3, 300)
+	s := r.Snapshot()
+	for _, h := range s.Histograms {
+		if h.Name == "inter_arr_ps" && h.Total != 1 {
+			t.Errorf("inter-ARR observations = %d, want 1 (per-bank state survives)", h.Total)
+		}
+	}
+}
+
+func TestSetDefaultSampleEveryDoesNotOverride(t *testing.T) {
+	r := NewRecorder(Config{SampleEvery: 7})
+	r.SetDefaultSampleEvery(100)
+	r.Refresh(0)
+	r.AddGauge("g", func() int64 { return 1 })
+	r.Refresh(7) // pinned period still in force
+	if got := r.cfg.SampleEvery; got != 7 {
+		t.Errorf("SampleEvery = %d, want the pinned 7", got)
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	r := NewRecorder(Config{Banks: 2, SampleEvery: 100})
+	r.AddGauge("g", func() int64 { return 9 })
+	r.ACT(0, 10)
+	r.ARR(1, 20)
+	r.TableTick(0, 7, 1, 30)
+	r.Refresh(40)
+	r.Reset()
+
+	if got := r.Totals(); got != (EventTotals{}) {
+		t.Errorf("totals after reset = %+v", got)
+	}
+	if r.MaxOccupancy() != 0 || len(r.OccupancySeries()) != 0 || r.DroppedSamples() != 0 {
+		t.Error("sample state survived reset")
+	}
+	s := r.Snapshot()
+	if len(s.Gauges) != 1 || len(s.Gauges[0].Samples) != 0 {
+		t.Errorf("gauge registrations must survive reset with empty series, got %+v", s.Gauges)
+	}
+	// Per-bank ARR state is back to "never seen".
+	r.ARR(1, 50)
+	for _, h := range r.Snapshot().Histograms {
+		if h.Name == "inter_arr_ps" && h.Total != 0 {
+			t.Errorf("inter-ARR state survived reset (total %d)", h.Total)
+		}
+	}
+}
+
+func TestSnapshotIsDetached(t *testing.T) {
+	r := NewRecorder(Config{Banks: 1})
+	r.TableTick(0, 3, 1, 10)
+	s := r.Snapshot()
+	r.TableTick(0, 9, 0, 20)
+	r.ACT(0, 30)
+	if len(s.Occupancy) != 1 || s.Events.ACTs != 0 {
+		t.Errorf("snapshot mutated by later recording: %+v", s)
+	}
+}

@@ -1,0 +1,74 @@
+package probe
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced time source for meter tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time { return c.t }
+
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestProgressRendersAndThrottles(t *testing.T) {
+	var buf bytes.Buffer
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	p := NewProgress(&buf, "fig7b", clk.now)
+
+	p.Update(1, 10)
+	if !strings.Contains(buf.String(), "fig7b: 1/10 cells") {
+		t.Fatalf("first update missing from %q", buf.String())
+	}
+	n := buf.Len()
+
+	clk.advance(10 * time.Millisecond)
+	p.Update(2, 10) // inside the throttle window: no write
+	if buf.Len() != n {
+		t.Errorf("throttled update wrote %q", buf.String()[n:])
+	}
+
+	clk.advance(printEvery)
+	p.Update(3, 10)
+	if !strings.Contains(buf.String(), "fig7b: 3/10 cells") {
+		t.Errorf("post-throttle update missing from %q", buf.String())
+	}
+	if !strings.Contains(buf.String(), "eta ") {
+		t.Errorf("intermediate update has no ETA: %q", buf.String())
+	}
+
+	clk.advance(time.Millisecond)
+	p.Update(10, 10) // final unit always renders, throttle or not
+	if !strings.Contains(buf.String(), "fig7b: 10/10 cells") {
+		t.Errorf("final update missing from %q", buf.String())
+	}
+
+	p.Finish()
+	if !strings.HasSuffix(buf.String(), "\n") {
+		t.Error("Finish did not terminate the meter line")
+	}
+}
+
+func TestProgressRendersMaxSeen(t *testing.T) {
+	var buf bytes.Buffer
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	p := NewProgress(&buf, "grid", clk.now)
+	p.Update(5, 10)
+	clk.advance(printEvery + time.Millisecond)
+	p.Update(4, 10) // out-of-order delivery from a slower worker
+	if !strings.Contains(buf.String(), "grid: 5/10 cells") || strings.Contains(buf.String(), "grid: 4/10") {
+		t.Errorf("meter went backwards: %q", buf.String())
+	}
+}
+
+func TestProgressFinishWithoutUpdates(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "idle", (&fakeClock{}).now)
+	p.Finish()
+	if buf.Len() != 0 {
+		t.Errorf("Finish with no updates wrote %q", buf.String())
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/defense"
 	"repro/internal/dram"
+	"repro/internal/probe"
 )
 
 // Stats counts RCD-level events.
@@ -30,6 +31,8 @@ type RCD struct {
 	// slice keeps the model robust to defenses that flag several.
 	pendingARR [][]int
 	stats      Stats
+	// probes, when non-nil, receives ARR-queued telemetry events.
+	probes *probe.Recorder
 }
 
 // New builds an RCD hosting the given defense.
@@ -47,6 +50,10 @@ func (r *RCD) Defense() defense.Defense { return r.def }
 // SetDefense swaps the hosted defense (machine-reuse path: each experiment
 // grid cell brings its own freshly built defense to the recycled RCD).
 func (r *RCD) SetDefense(def defense.Defense) { r.def = def }
+
+// SetProbes attaches (nil detaches) a telemetry recorder. Reset leaves the
+// attachment alone — the machine owns it.
+func (r *RCD) SetProbes(p *probe.Recorder) { r.probes = p }
 
 // Reset returns the RCD to its just-constructed state, reusing the pending
 // queues' backing storage. The hosted defense is reset by the caller (it may
@@ -74,6 +81,9 @@ func (r *RCD) ObserveACT(bank dram.BankID, row int, now clock.Time) defense.Acti
 		i := bank.Flat(&r.p)
 		r.pendingARR[i] = append(r.pendingARR[i], a.ARRAggressors...)
 		a.ARRAggressors = nil
+		if r.probes != nil {
+			r.probes.ARRQueued(i, len(r.pendingARR[i]), now)
+		}
 	}
 	return a
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/defense"
 	"repro/internal/dram"
 	"repro/internal/mc"
+	"repro/internal/probe"
 	"repro/internal/rcd"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -129,6 +130,12 @@ type Machine struct {
 	// (it must credit the issuing core), the best-effort one shared.
 	demandDone     []func(clock.Time)
 	bestEffortDone func(clock.Time)
+
+	// rec is the attached telemetry recorder, nil when detached. The machine
+	// fans the attachment out to the controller, the RCD, and the hosted
+	// defense (when it implements probe.Instrumented); Reuse re-fans it to
+	// each cell's fresh defense.
+	rec *probe.Recorder
 }
 
 // NewMachine assembles a machine running the workload under the defense.
@@ -219,6 +226,7 @@ func (m *Machine) Reuse(def defense.Defense, w workload.Workload) error {
 	m.sys.Reset()
 	m.sys.RCD().Reset()
 	m.sys.RCD().SetDefense(def)
+	m.wireDefenseProbes()
 	*m.cnt = stats.Counters{}
 	m.served = 0
 	m.hier = nil
@@ -261,6 +269,50 @@ func (m *Machine) newRequest(addr uint64, write bool, core int, done func(clock.
 	req.Core = core
 	req.Done = done
 	return req
+}
+
+// SetRecorder attaches a telemetry recorder to every instrumented component
+// of the machine (controller, RCD, defense) and registers the machine-level
+// gauges; nil detaches everywhere. The recorder's topology and sampling
+// period default from the machine's DRAM parameters (one gauge sample per
+// tREFI). The caller resets or replaces the recorder between runs — the
+// machine never clears recorded data.
+func (m *Machine) SetRecorder(rec *probe.Recorder) {
+	m.rec = rec
+	m.sys.SetProbes(rec)
+	m.sys.RCD().SetProbes(rec)
+	m.wireDefenseProbes()
+	if rec == nil {
+		return
+	}
+	rec.EnsureTopology(m.cfg.DRAM.TotalBanks())
+	rec.SetDefaultSampleEvery(m.cfg.DRAM.TREFI)
+	rec.AddGauge("disturb_high_water", m.maxDisturbHighWater)
+	rec.AddGauge("requests_served", func() int64 { return m.served })
+}
+
+// Recorder returns the attached telemetry recorder, nil when detached.
+func (m *Machine) Recorder() *probe.Recorder { return m.rec }
+
+// wireDefenseProbes points the hosted defense at the machine's recorder when
+// the defense is instrumented; called on attachment and after every Reuse
+// (each grid cell brings a fresh defense that needs re-wiring).
+func (m *Machine) wireDefenseProbes() {
+	if in, ok := m.def.(probe.Instrumented); ok {
+		in.SetProbes(m.rec)
+	}
+}
+
+// maxDisturbHighWater is the disturb_high_water gauge: the highest
+// disturbance count any row of any bank has reached so far.
+func (m *Machine) maxDisturbHighWater() int64 {
+	var hw int64
+	for _, b := range m.dev.Banks() {
+		if v := int64(b.DisturbHighWater()); v > hw {
+			hw = v
+		}
+	}
+	return hw
 }
 
 // Counters exposes the live counters (reports read them after Run).
@@ -410,10 +462,16 @@ func Run(cfg Config, def defense.Defense, w workload.Workload, lim Limits) (*Res
 type CellRunner struct {
 	cfg Config
 	m   *Machine
+	rec *probe.Recorder
 }
 
 // NewCellRunner prepares a runner for machines built from cfg.
 func NewCellRunner(cfg Config) *CellRunner { return &CellRunner{cfg: cfg} }
+
+// SetRecorder sets the telemetry recorder the next Run attaches (nil
+// detaches). Grid workers install a fresh recorder before each cell, so a
+// recycled machine can never leak one cell's telemetry into the next.
+func (r *CellRunner) SetRecorder(rec *probe.Recorder) { r.rec = rec }
 
 // Run executes one cell, reusing the worker's machine when it exists.
 func (r *CellRunner) Run(def defense.Defense, w workload.Workload, lim Limits) (*Result, error) {
@@ -426,5 +484,6 @@ func (r *CellRunner) Run(def defense.Defense, w workload.Workload, lim Limits) (
 	} else if err := r.m.Reuse(def, w); err != nil {
 		return nil, err
 	}
+	r.m.SetRecorder(r.rec)
 	return r.m.Run(lim)
 }

@@ -144,6 +144,15 @@ func (h *Histogram) Observe(v int64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.total }
 
+// Bounds returns the ascending bucket upper bounds. The slice is the
+// histogram's own storage; callers must treat it as read-only (exporters
+// copy it before serializing).
+func (h *Histogram) Bounds() []int64 { return h.bounds }
+
+// Counts returns the per-bucket observation counts, with one trailing
+// overflow bucket beyond Bounds. Same read-only contract as Bounds.
+func (h *Histogram) Counts() []int64 { return h.counts }
+
 // Mean returns the mean of observed values, or 0 when empty.
 func (h *Histogram) Mean() float64 {
 	if h.total == 0 {

@@ -14,6 +14,10 @@
 #                        engine, and the parallel experiment runner, plus
 #                        the serial/parallel equivalence test so the real
 #                        experiment fan-out runs under the detector
+#   6. fuzz (non-tier-1) — a short trace-reader fuzz burst; new findings
+#                        land in internal/trace/testdata/fuzz as regression
+#                        seeds. Not part of the tier-1 gate: skip with
+#                        SKIP_FUZZ=1.
 set -eu
 
 cd "$(dirname "$0")"
@@ -35,5 +39,10 @@ go test -race ./internal/sim/... ./internal/core/... ./internal/parallel/...
 
 echo "==> go test -race -run TestParallelSerialEquivalence ./internal/experiments"
 go test -race -run TestParallelSerialEquivalence ./internal/experiments
+
+if [ "${SKIP_FUZZ:-0}" != "1" ]; then
+	echo "==> go test -run='^$' -fuzz=FuzzReader -fuzztime=10s ./internal/trace (non-tier-1)"
+	go test -run='^$' -fuzz=FuzzReader -fuzztime=10s ./internal/trace
+fi
 
 echo "verify: OK"
