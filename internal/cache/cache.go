@@ -61,10 +61,10 @@ type line struct {
 
 // Cache is one set-associative write-back, write-allocate cache.
 type Cache struct {
-	cfg   Config
+	cfg   Config //twicelint:keep geometry, fixed at construction
 	sets  [][]line
-	mask  uint64
-	shift uint
+	mask  uint64 //twicelint:keep derived set-index mask, fixed at construction
+	shift uint   //twicelint:keep derived block shift, fixed at construction
 	tick  int64
 	stats Stats
 }

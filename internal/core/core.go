@@ -178,16 +178,20 @@ func (c Config) SeparatedSizing() (narrow, wide int) {
 // TWiCe is the defense engine: one counter table per DRAM bank plus the
 // threshold logic. It implements defense.Defense.
 type TWiCe struct {
-	cfg     Config
-	thPI    int
+	cfg     Config //twicelint:keep engine parameters, fixed at construction
+	thPI    int    //twicelint:keep derived pruning-interval threshold, fixed at construction
 	tables  []Table
 	pending []int // auto-refresh ticks seen per bank since last prune
 
+	// detections deliberately survives Reset: it counts over the engine's
+	// lifetime, and the lifetime aggregate is what the detector tests pin.
+	//twicelint:keep lifetime aggregate; Reset clears per-run table state only
 	detections int64
 
 	// probes, when non-nil, receives table telemetry (prune-tick occupancy,
 	// insert spills). The nil check is the whole detached cost; the spill
 	// delta read sits on the insert path only, never on steady-state Touch.
+	//twicelint:keep attachment is machine-owned; Reset must not detach it
 	probes *probe.Recorder
 }
 
@@ -243,6 +247,8 @@ func (t *TWiCe) Config() Config { return t.cfg }
 // OnActivate implements defense.Defense: allocate or bump the row's counter;
 // when the count reaches thRH, deallocate the entry and request an ARR for
 // the row (its physical neighbours are refreshed inside the device).
+//
+//twicelint:hotpath the per-ACT TWiCe kernel; AllocsPerRun pins it at zero
 func (t *TWiCe) OnActivate(bank dram.BankID, row int, now clock.Time) defense.Action {
 	i := bank.Flat(&t.cfg.DRAM)
 	tb := t.tables[i]
@@ -259,6 +265,7 @@ func (t *TWiCe) OnActivate(bank dram.BankID, row int, now clock.Time) defense.Ac
 			// refreshing the untrackable row's neighbours immediately, which
 			// preserves soundness (no unmonitored accumulation) at the cost
 			// of a spurious ARR.
+			//twicelint:allocok overflow degrade path is unreachable under the §4.4 sizing theorem
 			return defense.Action{ARRAggressors: []int{row}}
 		}
 		if t.probes != nil && tb.Ops().Spills > spillsBefore {
@@ -269,6 +276,7 @@ func (t *TWiCe) OnActivate(bank dram.BankID, row int, now clock.Time) defense.Ac
 	if e.ActCnt >= t.cfg.ThRH {
 		tb.Remove(row)
 		t.detections++
+		//twicelint:allocok detection is a rare event; the one-element aggressor list is the API
 		return defense.Action{ARRAggressors: []int{row}, Detected: true}
 	}
 	return defense.Action{}

@@ -19,8 +19,9 @@ package core
 // probe can always terminate at an empty slot.
 type intMap struct {
 	keys []int // key at each slot; -1 marks an empty slot
-	vals []int
-	mask uint64 // len(keys)-1; len is a power of two ≥ 2×capacity
+	vals []int //twicelint:keep value slots are unreadable until their key is reinserted
+	// mask is len(keys)-1; len is a power of two ≥ 2×capacity.
+	mask uint64 //twicelint:keep geometry, fixed at construction
 	n    int
 }
 
@@ -48,6 +49,8 @@ func (m *intMap) slot(key int) uint64 {
 }
 
 // get returns the value stored for key.
+//
+//twicelint:hotpath row-index lookup on every table Touch
 func (m *intMap) get(key int) (int, bool) {
 	for i := m.slot(key); ; i = (i + 1) & m.mask {
 		switch m.keys[i] {
@@ -61,6 +64,8 @@ func (m *intMap) get(key int) (int, bool) {
 
 // put stores val for key, inserting or overwriting. The caller must ensure
 // the load bound (live entries ≤ construction capacity) holds.
+//
+//twicelint:hotpath row-index insert on every table Insert
 func (m *intMap) put(key, val int) {
 	for i := m.slot(key); ; i = (i + 1) & m.mask {
 		switch m.keys[i] {
@@ -80,6 +85,8 @@ func (m *intMap) put(key, val int) {
 // following probe-chain entries back over the hole instead of planting a
 // tombstone, keeping probe lengths at their insertion-time values no matter
 // how many prune cycles have run.
+//
+//twicelint:hotpath row-index delete on every table prune/evict
 func (m *intMap) del(key int) bool {
 	i := m.slot(key)
 	for {

@@ -10,7 +10,7 @@ import "fmt"
 // sets can possibly hold the row. Common-case lookups touch a single set,
 // which is where the energy saving over fa-TWiCe comes from.
 type paTable struct {
-	ways int
+	ways int       //twicelint:keep geometry, fixed at construction
 	sets [][]Entry // sets[s][w]; Row < 0 marks an empty way
 	sb   [][]int   // sb[host][preferred] = entries of `preferred` stored in `host`
 	len  int
@@ -82,6 +82,7 @@ func (t *paTable) locate(row int, counted bool) (set, way int) {
 	return -1, -1
 }
 
+//twicelint:hotpath per-ACT table op, reached through the Table interface
 func (t *paTable) Touch(row int) (Entry, bool) {
 	t.ops.Searches++
 	s, w := t.locate(row, true)

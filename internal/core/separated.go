@@ -15,7 +15,7 @@ type sepTable struct {
 	wide   *faTable // entries with ActCnt ≥ graduate
 	// graduate is the activation count at which an entry moves to the wide
 	// sub-table. The paper uses thPI (= 4), matching the 2-bit counter.
-	graduate int
+	graduate int //twicelint:keep policy constant, fixed at construction
 	ops      OpStats
 }
 
@@ -29,6 +29,7 @@ func newSepTable(narrowCap, wideCap, graduate int) *sepTable {
 	}
 }
 
+//twicelint:hotpath per-ACT table op, reached through the Table interface
 func (t *sepTable) Touch(row int) (Entry, bool) {
 	t.ops.Searches++
 	t.ops.SetsProbed++ // both sub-tables are searched concurrently (one CAM cycle)
@@ -45,6 +46,7 @@ func (t *sepTable) Touch(row int) (Entry, bool) {
 		// invariant violation, not an operational condition.
 		t.narrow.Remove(row)
 		if err := t.wide.Insert(row); err != nil {
+			//twicelint:allocok panic path: sizing invariant violation is fatal
 			panic(fmt.Sprintf("core: separated wide sub-table overflow: %v", err))
 		}
 		we, _ := t.wide.Lookup(row)

@@ -71,7 +71,7 @@ type Table interface {
 // energy model, not in behaviour. The index is an open-addressed intMap
 // rather than a Go map because Touch runs once per simulated ACT.
 type faTable struct {
-	entries []Entry
+	entries []Entry //twicelint:keep stale slots are unreadable; valid[] is the source of truth
 	valid   []bool
 	free    []int
 	index   *intMap // row -> slot
@@ -92,6 +92,7 @@ func newFATable(capacity int) *faTable {
 	return t
 }
 
+//twicelint:hotpath per-ACT table op, reached through the Table interface
 func (t *faTable) Touch(row int) (Entry, bool) {
 	t.ops.Searches++
 	t.ops.SetsProbed++
@@ -112,9 +113,11 @@ func (t *faTable) Lookup(row int) (Entry, bool) {
 
 func (t *faTable) Insert(row int) error {
 	if _, ok := t.index.get(row); ok {
+		//twicelint:allocok cold error path: caller bug, not steady state
 		return fmt.Errorf("core: insert of already-tracked row %d", row)
 	}
 	if len(t.free) == 0 {
+		//twicelint:allocok cold error path: sizing invariant violation
 		return fmt.Errorf("core: fa table full (%d entries); sizing invariant violated", len(t.entries))
 	}
 	i := t.free[len(t.free)-1]
@@ -153,6 +156,7 @@ func (t *faTable) Remove(row int) {
 	}
 	t.index.del(row)
 	t.valid[i] = false
+	//twicelint:allocok free list capacity equals the entry count, fixed at construction
 	t.free = append(t.free, i)
 	t.ops.Removes++
 }

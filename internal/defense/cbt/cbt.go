@@ -100,13 +100,13 @@ type bankTree struct {
 
 // CBT implements defense.Defense.
 type CBT struct {
-	cfg        Config
+	cfg        Config //twicelint:keep configuration, fixed at construction
 	trees      []*bankTree
 	ticks      []int // refresh ticks since last tree reset, per bank
-	resetEvery int   // ticks per tREFW
+	resetEvery int   //twicelint:keep ticks per tREFW, fixed at construction
 
-	splits, merges, rangeRefreshes int64
-	detections                     int64
+	splits, merges, rangeRefreshes int64 //twicelint:keep lifetime aggregates; Reset rebuilds the trees only
+	detections                     int64 //twicelint:keep lifetime aggregate; Reset rebuilds the trees only
 }
 
 var _ defense.Defense = (*CBT)(nil)

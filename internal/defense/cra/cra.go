@@ -67,12 +67,12 @@ type way struct {
 
 // CRA implements defense.Defense.
 type CRA struct {
-	cfg  Config
+	cfg  Config //twicelint:keep configuration, fixed at construction
 	sets [][]way
-	tick int64
+	tick int64 //twicelint:keep lifetime tick clock; cache ways reference it only relatively
 
-	hits, misses, writebacks int64
-	detections               int64
+	hits, misses, writebacks int64 //twicelint:keep lifetime aggregates; Reset clears the cache ways only
+	detections               int64 //twicelint:keep lifetime aggregate; Reset clears the cache ways only
 }
 
 var _ defense.Defense = (*CRA)(nil)

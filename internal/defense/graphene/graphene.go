@@ -69,12 +69,12 @@ type bankTable struct {
 
 // Graphene implements defense.Defense.
 type Graphene struct {
-	cfg        Config
+	cfg        Config //twicelint:keep configuration, fixed at construction
 	banks      []bankTable
-	resetEvery int
+	resetEvery int //twicelint:keep derived tREFW quantum, fixed at construction
 
-	detections int64
-	swaps      int64
+	detections int64 //twicelint:keep lifetime aggregate; Reset rebuilds the tables only
+	swaps      int64 //twicelint:keep lifetime aggregate; Reset rebuilds the tables only
 }
 
 var _ defense.Defense = (*Graphene)(nil)

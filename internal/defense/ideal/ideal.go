@@ -45,10 +45,10 @@ type bankState struct {
 
 // Ideal implements defense.Defense.
 type Ideal struct {
-	cfg        Config
+	cfg        Config //twicelint:keep configuration, fixed at construction
 	banks      []bankState
-	perTick    int
-	detections int64
+	perTick    int   //twicelint:keep derived decay quantum, fixed at construction
+	detections int64 //twicelint:keep lifetime aggregate; Reset clears counter tables only
 }
 
 var _ defense.Defense = (*Ideal)(nil)

@@ -56,12 +56,12 @@ type entry struct {
 
 // PRoHIT implements defense.Defense.
 type PRoHIT struct {
-	cfg    Config
+	cfg    Config //twicelint:keep configuration, fixed at construction
 	tables [][]entry
-	rng    *rand.Rand
-	tick   int64
+	rng    *rand.Rand //twicelint:keep stream continuity is deliberate; grids build a fresh PRoHIT per cell
+	tick   int64      //twicelint:keep lifetime tick clock; tables reference it only relatively
 
-	refreshes int64
+	refreshes int64 //twicelint:keep lifetime aggregate; Reset drops the tables only
 }
 
 var _ defense.Defense = (*PRoHIT)(nil)

@@ -56,12 +56,12 @@ type entry struct {
 
 // TRR implements defense.Defense.
 type TRR struct {
-	cfg      Config
+	cfg      Config //twicelint:keep configuration, fixed at construction
 	trackers [][]entry
-	tick     int64
+	tick     int64 //twicelint:keep lifetime tick clock; trackers reference it only relatively
 
-	refreshes int64
-	evictions int64
+	refreshes int64 //twicelint:keep lifetime aggregate; Reset drops the trackers only
+	evictions int64 //twicelint:keep lifetime aggregate; Reset drops the trackers only
 }
 
 var _ defense.Defense = (*TRR)(nil)

@@ -30,9 +30,9 @@ type BankStats struct {
 // remap table burned in at test time, the rolling auto-refresh pointer, and
 // per-row disturbance state.
 type Bank struct {
-	id    BankID
-	p     *Params
-	remap *RemapTable
+	id    BankID      //twicelint:keep identity, fixed at construction
+	p     *Params     //twicelint:keep device parameters, fixed at construction
+	remap *RemapTable //twicelint:keep fuse data survives power cycles; RemapTable has no reset
 
 	// disturb[phys] counts neighbour ACTs since the row's last refresh or
 	// own activation.
@@ -88,11 +88,15 @@ func (b *Bank) Flips() []Flip { return b.flips }
 // Activate opens the given logical row, disturbing its physical neighbours.
 // It is the caller's (memory controller's) job to respect timing; the device
 // model only tracks reliability state.
+//
+//twicelint:hotpath per-ACT device kernel; every simulated activation runs it
 func (b *Bank) Activate(logicalRow int, now clock.Time) error {
 	if logicalRow < 0 || logicalRow >= b.p.RowsPerBank {
+		//twicelint:allocok cold error path: protocol violation, not steady state
 		return fmt.Errorf("dram: activate out-of-range row %d in %v", logicalRow, b.id)
 	}
 	if b.openRow >= 0 {
+		//twicelint:allocok cold error path: protocol violation, not steady state
 		return fmt.Errorf("dram: activate row %d while row %d open in %v", logicalRow, b.openRow, b.id)
 	}
 	b.openRow = logicalRow
@@ -106,6 +110,8 @@ func (b *Bank) Activate(logicalRow int, now clock.Time) error {
 // fully restores the row's own charge). This is the innermost operation of
 // every experiment, so the neighbour range is iterated inline — same
 // ascending order as RemapTable.PhysicalNeighbors, but with zero allocation.
+//
+//twicelint:hotpath disturbance accounting runs on every ACT and ARR
 func (b *Bank) hammer(phys int, now clock.Time) {
 	b.disturb[phys] = 0
 	b.flipped[phys] = false
@@ -128,6 +134,7 @@ func (b *Bank) hammer(phys int, now clock.Time) {
 		if int(b.disturb[n]) > b.p.NTh && !b.flipped[n] {
 			b.flipped[n] = true
 			b.stats.Flips++
+			//twicelint:allocok flip records are rare events (each physical row flips at most once)
 			b.flips = append(b.flips, Flip{
 				Bank:    b.id,
 				PhysRow: n,
@@ -148,8 +155,11 @@ func (b *Bank) Precharge() {
 // AutoRefresh processes one auto-refresh command: the next RowsPerRefresh
 // physical rows (in rolling order) have their charge restored, clearing
 // their disturbance counters. The caller must have precharged the bank.
+//
+//twicelint:hotpath runs once per bank every tREFI across the whole run
 func (b *Bank) AutoRefresh(now clock.Time) error {
 	if b.openRow >= 0 {
+		//twicelint:allocok cold error path: protocol violation, not steady state
 		return fmt.Errorf("dram: auto-refresh with row %d open in %v", b.openRow, b.id)
 	}
 	n := b.remap.PhysicalRows()
@@ -178,9 +188,11 @@ func (b *Bank) refreshRow(phys int) {
 // 2×BlastRadius), each of which costs the device one internal ACT/PRE pair.
 func (b *Bank) AdjacentRowRefresh(aggressorLogical int, now clock.Time) (int, error) {
 	if aggressorLogical < 0 || aggressorLogical >= b.p.RowsPerBank {
+		//twicelint:allocok cold error path: protocol violation, not steady state
 		return 0, fmt.Errorf("dram: ARR for out-of-range row %d in %v", aggressorLogical, b.id)
 	}
 	if b.openRow >= 0 {
+		//twicelint:allocok cold error path: protocol violation, not steady state
 		return 0, fmt.Errorf("dram: ARR with row %d open in %v", b.openRow, b.id)
 	}
 	phys := b.remap.Physical(aggressorLogical)
@@ -261,7 +273,7 @@ func (b *Bank) Reset() {
 // Device models a full multi-channel DRAM population: one Bank per
 // (channel, rank, bank) coordinate, each with its own remap table.
 type Device struct {
-	p     Params
+	p     Params //twicelint:keep device parameters, fixed at construction
 	banks []*Bank
 }
 

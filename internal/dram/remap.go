@@ -150,6 +150,8 @@ func (t *RemapTable) Remap(logical int) error {
 
 // Physical resolves a logical row index to its physical row index. The
 // identity short-circuit makes this a single branch for unremapped banks.
+//
+//twicelint:hotpath logical→physical translation on every ACT
 func (t *RemapTable) Physical(logical int) int {
 	if len(t.remappedLogical) == 0 {
 		return logical
@@ -163,6 +165,8 @@ func (t *RemapTable) Physical(logical int) int {
 // Logical resolves a physical row index back to the logical row stored there,
 // or -1 if the physical row holds no logical row (an unused spare or a
 // vacated faulty row).
+//
+//twicelint:hotpath physical→logical translation on every disturbance probe
 func (t *RemapTable) Logical(phys int) int {
 	if phys >= t.rows {
 		if s := phys - t.rows; s < t.used() {

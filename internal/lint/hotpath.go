@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkHotFunc flags every allocation source in one member of the hot
+// closure. The per-ACT cost argument of the paper (and the AllocsPerRun
+// ceilings of the dynamic tests) survives only if nothing on the path from
+// an annotated root allocates, so the rule is deliberately syntactic and
+// conservative: anything the compiler *might* heap-allocate is a finding
+// unless the line carries //twicelint:allocok <why>.
+//
+// Flagged constructs: make and new, append without visible capacity
+// evidence (the first argument must be a slice expression such as buf[:0]
+// — the scratch-reuse idiom), slice and map composite literals, &composite
+// literals, function literals (closure capture), non-constant string
+// concatenation, any call into package fmt, interface boxing at call sites
+// (a non-interface argument passed to an interface parameter), and defer.
+func checkHotFunc(hf hotFunc, dirs *directives, emit func(pos token.Pos, format string, args ...any)) {
+	fi := hf.fi
+	info := fi.pkg.Info
+	fset := fi.pkg.Fset
+
+	excused := func(pos token.Pos) bool {
+		return dirs.has(fset.Position(pos).Line, dirAllocOK)
+	}
+	report := func(pos token.Pos, format string, args ...any) {
+		if excused(pos) {
+			return
+		}
+		args = append(args, hf.root)
+		emit(pos, format+" on the hot path (rooted at //twicelint:hotpath %s); hoist it out of the per-ACT kernel or annotate //twicelint:allocok <why>", args...)
+	}
+
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(info, n, report)
+		case *ast.CompositeLit:
+			if t := info.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					report(n.Pos(), "slice literal %s allocates", exprString(n))
+				case *types.Map:
+					report(n.Pos(), "map literal %s allocates", exprString(n))
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := unparen(n.X).(*ast.CompositeLit); ok {
+					report(n.Pos(), "&composite literal allocates")
+				}
+			}
+		case *ast.FuncLit:
+			report(n.Pos(), "function literal allocates a closure")
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isNonConstString(info, n) {
+				report(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+				if t := info.TypeOf(n.Lhs[0]); t != nil && isString(t) {
+					report(n.Pos(), "string concatenation allocates")
+				}
+			}
+		case *ast.DeferStmt:
+			report(n.Pos(), "defer allocates a deferred frame")
+		}
+		return true
+	})
+}
+
+// checkHotCall handles the call-shaped allocation sources: the allocating
+// builtins, fmt, and interface boxing of arguments.
+func checkHotCall(info *types.Info, call *ast.CallExpr, report func(pos token.Pos, format string, args ...any)) {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion, not a call
+	}
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				report(call.Pos(), "make allocates")
+			case "new":
+				report(call.Pos(), "new allocates")
+			case "append":
+				if len(call.Args) > 0 {
+					if _, ok := unparen(call.Args[0]).(*ast.SliceExpr); !ok {
+						report(call.Pos(), "append without capacity evidence may grow its backing array; reuse scratch storage (append(buf[:0], …))")
+					}
+				}
+			}
+			return // no boxing check for builtins (append's signature is synthetic)
+		}
+	}
+	if fn := calleeOf(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		report(call.Pos(), "call to fmt.%s allocates", fn.Name())
+	}
+	checkBoxing(info, call, report)
+}
+
+// checkBoxing flags non-interface arguments passed to interface parameters:
+// the conversion boxes the value onto the heap (modulo small-value
+// staticization, which the rule conservatively ignores).
+func checkBoxing(info *types.Info, call *ast.CallExpr, report func(pos token.Pos, format string, args ...any)) {
+	if call.Ellipsis.IsValid() {
+		return // s... forwards an existing slice; no per-element boxing
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			sl, ok := last.(*types.Slice)
+			if !ok {
+				return
+			}
+			pt = sl.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			return
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		atv, ok := info.Types[arg]
+		if !ok || atv.Type == nil || atv.IsNil() {
+			continue
+		}
+		if types.IsInterface(atv.Type) {
+			continue
+		}
+		report(arg.Pos(), "passing %s (type %s) to an interface parameter boxes it",
+			exprString(arg), types.TypeString(atv.Type, nil))
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isNonConstString(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil || tv.Value != nil {
+		return false
+	}
+	return isString(tv.Type)
+}

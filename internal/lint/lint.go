@@ -17,6 +17,22 @@
 //     row/address arithmetic, unless the operand is masked/bounded or the
 //     site carries a //twicelint:checked directive.
 //
+// On top of the per-file hygiene rules, three cross-cutting rules enforce
+// the performance contracts of the per-ACT kernel statically (see
+// DESIGN.md §12):
+//
+//   - hotpath: functions annotated //twicelint:hotpath, and everything they
+//     transitively call through the static call graph, must be
+//     allocation-free; //twicelint:allocok <why> exempts one line.
+//   - probeguard: every probe.Recorder method call must be dominated by a
+//     nil guard on its receiver expression, preserving the zero-overhead
+//     detached-telemetry contract.
+//   - resetcoverage: every Reset/Clear method must reassign each field of
+//     its receiver struct, or the field must carry //twicelint:keep <why>;
+//     machine-reuse byte-identity depends on it.
+//   - directive: twicelint directives themselves must be well-formed —
+//     known name, rationale present, attached to the right node.
+//
 // The analyzer uses only go/ast, go/parser, go/token, and go/types.
 package lint
 
@@ -31,10 +47,14 @@ import (
 
 // Rule identifiers, as printed in diagnostics.
 const (
-	RuleMapRange   = "maprange"
-	RuleNondeterm  = "nondeterm"
-	RuleDroppedErr = "droppederr"
-	RuleTruncConv  = "truncconv"
+	RuleMapRange      = "maprange"
+	RuleNondeterm     = "nondeterm"
+	RuleDroppedErr    = "droppederr"
+	RuleTruncConv     = "truncconv"
+	RuleHotPath       = "hotpath"
+	RuleProbeGuard    = "probeguard"
+	RuleResetCoverage = "resetcoverage"
+	RuleDirective     = "directive"
 )
 
 // Finding is one diagnostic.
@@ -92,23 +112,83 @@ func NewInfo() *types.Info {
 	}
 }
 
-// Check runs every rule over the package and returns the findings sorted
-// by position.
+// Check runs every rule over one package in isolation. The hotpath rule's
+// call graph then covers only that package's functions; use CheckAll for
+// whole-program analysis.
 func Check(pkg *Package, cfg Config) []Finding {
-	if matchAny(pkg.Path, cfg.ExcludePackages) {
-		return nil
+	return CheckAll([]*Package{pkg}, cfg)
+}
+
+// CheckAll runs every rule over the loaded packages and returns the
+// findings sorted by position. The per-file rules (maprange, nondeterm,
+// droppederr, truncconv, directive, probeguard) and the per-package
+// resetcoverage rule skip excluded packages; the hotpath rule builds one
+// static call graph spanning every loaded package, so a hot root in one
+// package is followed into the bodies it calls anywhere else in the load.
+func CheckAll(pkgs []*Package, cfg Config) []Finding {
+	var all []Finding
+	var roots []*funcInfo
+	dirsByFile := map[*ast.File]*directives{}
+	idx := buildFuncIndex(pkgs)
+
+	for _, pkg := range pkgs {
+		c := &checker{
+			pkg:      pkg,
+			cfg:      cfg,
+			sim:      matchAny(pkg.Path, cfg.SimPackages),
+			internal: matchAny(pkg.Path, cfg.InternalPackages),
+			fileDirs: map[*ast.File]*directives{},
+		}
+		for _, f := range pkg.Files {
+			d := collectDirectives(pkg.Fset, f)
+			c.fileDirs[f] = d
+			dirsByFile[f] = d
+		}
+		// Hot roots are collected from every package, excluded or not: the
+		// exclusion list exempts a package from hygiene findings, not from
+		// participating in the call graph.
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if c.fileDirs[f].forFunc(pkg.Fset, fd, dirHotPath) == nil {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					if fi := idx[obj.FullName()]; fi != nil {
+						roots = append(roots, fi)
+					}
+				}
+			}
+		}
+		if matchAny(pkg.Path, cfg.ExcludePackages) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			c.dirs = c.fileDirs[f]
+			c.file(f)
+			c.checkDirectives(f)
+			c.checkProbeGuards(f)
+		}
+		c.checkResetCoverage()
+		all = append(all, c.findings...)
 	}
-	c := &checker{
-		pkg:      pkg,
-		cfg:      cfg,
-		sim:      matchAny(pkg.Path, cfg.SimPackages),
-		internal: matchAny(pkg.Path, cfg.InternalPackages),
+
+	for _, hf := range hotClosure(idx, roots) {
+		fi := hf.fi
+		checkHotFunc(hf, dirsByFile[fi.file], func(pos token.Pos, format string, args ...any) {
+			all = append(all, Finding{
+				Pos:     fi.pkg.Fset.Position(pos),
+				Rule:    RuleHotPath,
+				Message: fmt.Sprintf(format, args...),
+			})
+		})
 	}
-	for _, f := range pkg.Files {
-		c.file(f)
-	}
-	sort.Slice(c.findings, func(i, j int) bool {
-		a, b := c.findings[i], c.findings[j]
+
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -120,7 +200,7 @@ func Check(pkg *Package, cfg Config) []Finding {
 		}
 		return a.Rule < b.Rule
 	})
-	return c.findings
+	return all
 }
 
 type checker struct {
@@ -128,7 +208,8 @@ type checker struct {
 	cfg      Config
 	sim      bool
 	internal bool
-	dirs     directives
+	fileDirs map[*ast.File]*directives
+	dirs     *directives
 	findings []Finding
 }
 
@@ -141,7 +222,6 @@ func (c *checker) report(pos token.Pos, rule, format string, args ...any) {
 }
 
 func (c *checker) file(f *ast.File) {
-	c.dirs = collectDirectives(c.pkg.Fset, f)
 	ast.Inspect(f, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.RangeStmt:

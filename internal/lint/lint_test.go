@@ -30,6 +30,10 @@ var fixtures = []struct {
 	{"droppederr", "repro/cmd/fixture"},
 	{"truncconv", "repro/internal/mc/fixture"},
 	{"telemetry", "repro/internal/probe/fixture"},
+	{"hotpath", "repro/internal/sim/hotfix"},
+	{"probeguard", "repro/internal/probe/guardfix"},
+	{"resetcoverage", "repro/internal/mc/resetfix"},
+	{"directive", "repro/internal/sim/dirfix"},
 	{"clean", "repro/internal/sim/clean"},
 }
 

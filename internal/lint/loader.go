@@ -92,6 +92,20 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 			return nil, fmt.Errorf("lint: loading %s: %s", p.ImportPath, p.Error.Err)
 		}
 	}
+	// The lint fixtures under internal/lint/testdata are deliberate
+	// violations, analyzed by the fixture tests under assumed import paths;
+	// a wildcard pattern like ./... must not surface them as repo findings.
+	// A pattern that names a testdata path explicitly is a request to
+	// analyze it (useful for eyeballing a fixture's findings), so the skip
+	// applies only when no pattern mentions testdata itself.
+	keepTestdata := false
+	for _, pat := range patterns {
+		if underTestdata(pat) {
+			keepTestdata = true
+			break
+		}
+	}
+
 	exports := exportLookup(listed)
 	fset := token.NewFileSet()
 	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
@@ -105,6 +119,9 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 	var out []*Package
 	for _, p := range listed {
 		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		if !keepTestdata && underTestdata(p.ImportPath) {
 			continue
 		}
 		pkg, err := typecheck(fset, imp, p)
@@ -138,26 +155,24 @@ func typecheck(fset *token.FileSet, imp types.Importer, p *listedPackage) (*Pack
 	return &Package{Path: p.ImportPath, Fset: fset, Files: files, Info: info}, nil
 }
 
-// Run loads every package matched by the patterns and checks it, returning
-// all findings in deterministic order.
+// underTestdata reports whether the import path has a testdata path
+// element (such packages are Go-tool-invisible fixtures, not real code).
+func underTestdata(importPath string) bool {
+	for _, seg := range strings.Split(importPath, "/") {
+		if seg == "testdata" {
+			return true
+		}
+	}
+	return false
+}
+
+// Run loads every package matched by the patterns and checks them together
+// (one cross-package call graph), returning all findings in deterministic
+// order.
 func Run(dir string, patterns []string, cfg Config) ([]Finding, error) {
 	pkgs, err := Load(dir, patterns)
 	if err != nil {
 		return nil, err
 	}
-	var findings []Finding
-	for _, pkg := range pkgs {
-		findings = append(findings, Check(pkg, cfg)...)
-	}
-	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i], findings[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		return a.Pos.Column < b.Pos.Column
-	})
-	return findings, nil
+	return CheckAll(pkgs, cfg), nil
 }

@@ -1,0 +1,22 @@
+// Package dirfix exercises the directive rule: twicelint directives are
+// validated themselves — the name must be in the vocabulary and the
+// node-bound directives must be attached to the right kind of node. (The
+// missing-rationale and CRLF cases live in directive_test.go: a rationale-free
+// directive cannot share its line with a want annotation.)
+package dirfix
+
+//twicelint:frobnicate plausible but not in the vocabulary // want directive "unknown twicelint directive"
+
+//twicelint:hotpath attached to a variable, not a function // want directive "must be attached to a function declaration"
+var counter int
+
+//twicelint:keep attached to a type, not a field // want directive "must be attached to a struct field"
+type widget struct {
+	n int
+}
+
+// Count is a correctly attached root so the fixture also contains a valid
+// directive (its closure is empty of allocations).
+//
+//twicelint:hotpath fixture: correctly attached root
+func Count() int { return counter + widget{}.n }

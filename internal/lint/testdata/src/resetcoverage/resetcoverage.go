@@ -1,0 +1,43 @@
+// Package resetfix exercises the resetcoverage rule: a Reset/Clear method
+// must account for every receiver field — by assignment, delegation, the
+// clear/copy builtins, or range-value delegation — or the field must carry
+// //twicelint:keep <why>.
+package resetfix
+
+type gauge struct{ count int }
+
+func (g *gauge) Reset() { g.count = 0 }
+
+type engine struct {
+	cfg    int //twicelint:keep configuration, fixed at construction
+	ticks  int64
+	gauges []*gauge
+	buf    []byte
+	table  map[int]int
+	leak   int64
+}
+
+// Reset covers every field except leak: ticks by assignment, gauges by
+// range-value delegation, buf by slice truncation, table by the clear
+// builtin; cfg is excused by its keep directive.
+func (e *engine) Reset() { // want resetcoverage "does not reassign field leak"
+	e.ticks = 0
+	for _, g := range e.gauges {
+		g.Reset()
+	}
+	e.buf = e.buf[:0]
+	clear(e.table)
+}
+
+type pool struct {
+	slots []int
+	hwm   int
+}
+
+// Clear participates under the same rule (Reset/Clear, case-insensitive):
+// the indexed stores cover slots, but hwm survives.
+func (p *pool) Clear() { // want resetcoverage "does not reassign field hwm"
+	for i := range p.slots {
+		p.slots[i] = 0
+	}
+}

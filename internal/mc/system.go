@@ -121,11 +121,11 @@ type batchSlot struct{ core, rank, bank int }
 // System is the full memory controller population plus the DRAM device,
 // timing checker, and RCD-hosted defense it drives.
 type System struct {
-	cfg   Config
-	dev   *dram.Device
+	cfg   Config       //twicelint:keep controller configuration, fixed at construction
+	dev   *dram.Device //twicelint:keep wiring; the device resets itself (machine owns the order)
 	chk   *timing.Checker
-	rcd   *rcd.RCD
-	cnt   *stats.Counters
+	rcd   *rcd.RCD        //twicelint:keep wiring; the RCD resets itself (machine owns the order)
+	cnt   *stats.Counters //twicelint:keep wiring; counters are reset by the machine that owns them
 	chans []*channel
 	ids   int64
 	// nextWake caches the minimum of the channels' wake times so the event
@@ -137,6 +137,7 @@ type System struct {
 	// release, when set, receives every request after its completion
 	// callback has run, letting the submitter pool and reuse request
 	// objects. The system never touches a request after releasing it.
+	//twicelint:keep submitter-owned hook; survives reset like the probe attachment
 	release func(*Request)
 	// detectionsByCore attributes defense detections to the core whose
 	// activation triggered them — the paper's "penalize malicious users"
@@ -144,6 +145,7 @@ type System struct {
 	detectionsByCore map[int]int64
 	// probes, when non-nil, receives hot-path telemetry events. The nil
 	// check at each hook site is the entire no-sink cost (see internal/probe).
+	//twicelint:keep attachment is machine-owned; Reset must not detach it
 	probes *probe.Recorder
 }
 
@@ -287,6 +289,8 @@ func (s *System) QueueLen(channelIdx int) int { return len(s.chans[channelIdx].q
 // Enqueue adds a request to its channel's queue (writes go to the write
 // buffer when buffering is enabled). It returns false if the target queue is
 // full (the caller must retry after progress).
+//
+//twicelint:hotpath request admission runs once per simulated request
 func (s *System) Enqueue(req *Request, now clock.Time) bool {
 	ch := s.chans[req.Addr.Channel]
 	if req.Write && s.cfg.WriteQueueDepth > 0 {
@@ -294,6 +298,7 @@ func (s *System) Enqueue(req *Request, now clock.Time) bool {
 			return false
 		}
 		req.Arrival = now
+		//twicelint:allocok amortized growth of the reused write-queue backing array
 		ch.wqueue = append(ch.wqueue, req)
 		ch.wake = clock.Min(ch.wake, now)
 		s.nextWake = clock.Min(s.nextWake, ch.wake)
@@ -306,6 +311,7 @@ func (s *System) Enqueue(req *Request, now clock.Time) bool {
 		return false
 	}
 	req.Arrival = now
+	//twicelint:allocok amortized growth of the reused read-queue backing array
 	ch.queue = append(ch.queue, req)
 	ch.wake = clock.Min(ch.wake, now)
 	s.nextWake = clock.Min(s.nextWake, ch.wake)
@@ -327,6 +333,8 @@ func (s *System) NextEvent() clock.Time {
 
 // Advance drives every channel up to and including time now, refreshing the
 // cached next-event time in the same pass.
+//
+//twicelint:hotpath the event-loop core; every simulated tick funnels through it
 func (s *System) Advance(now clock.Time) {
 	next := clock.Never
 	for _, ch := range s.chans {
@@ -353,13 +361,13 @@ func (ch *channel) bank(rank, bank int) *bankCtl {
 type op int8
 
 const (
-	opNone op = iota
-	opPRE     // precharge bank (rank, bank)
-	opREF     // auto-refresh rank (rank)
-	opARR     // adjacent-row refresh on bank (rank, bank)
-	opMit     // one unit of mitigation debt on bank (rank, bank)
-	opACT     // activate req's row (req)
-	opColumn  // column access for req (req)
+	opNone   op = iota
+	opPRE       // precharge bank (rank, bank)
+	opREF       // auto-refresh rank (rank)
+	opARR       // adjacent-row refresh on bank (rank, bank)
+	opMit       // one unit of mitigation debt on bank (rank, bank)
+	opACT       // activate req's row (req)
+	opColumn    // column access for req (req)
 )
 
 // candidate is one issuable (or future) command.
@@ -381,6 +389,7 @@ func (ch *channel) step(now clock.Time) clock.Time {
 	best := candidate{t: clock.Never}
 	earliest := clock.Never
 
+	//twicelint:allocok non-escaping closure; escape analysis keeps it on the stack
 	consider := func(c candidate) {
 		earliest = clock.Min(earliest, c.t)
 		if c.t > now {
@@ -526,6 +535,7 @@ func (ch *channel) drainSet() []*Request {
 					out = append(ch.drainScratch[:0], ch.queue...)
 					copied = true
 				}
+				//twicelint:allocok extends drainScratch-backed storage; capacity persists across batches
 				out = append(out, q)
 			}
 		}
@@ -535,6 +545,7 @@ func (ch *channel) drainSet() []*Request {
 		return out
 	}
 	out := append(ch.drainScratch[:0], ch.queue...)
+	//twicelint:allocok extends drainScratch-backed storage; capacity persists across batches
 	out = append(out, ch.wqueue...)
 	ch.drainScratch = out[:0]
 	return out
@@ -659,6 +670,7 @@ func (ch *channel) refreshBatch() {
 	// per-batch map and slice allocation to show up in profiles.
 	cores := ch.batchCores[:0]
 	for c := range load { //twicelint:ordered keys are sorted before use below
+		//twicelint:allocok extends batchCores scratch, bounded by the core count
 		cores = append(cores, c)
 	}
 	slices.Sort(cores)
@@ -781,10 +793,12 @@ func (ch *channel) applyAction(id dram.BankID, core int, a defense.Action) {
 	b := ch.bank(id.Rank, id.Bank)
 	for _, v := range a.LogicalVictims {
 		if v >= 0 && v < s.cfg.DRAM.RowsPerBank {
+			//twicelint:allocok mitigation ops are rare relative to ACTs; backing array amortizes
 			b.mit = append(b.mit, mitOp{row: v, deviceRefresh: true})
 		}
 	}
 	for i := 0; i < a.ExtraAccesses; i++ {
+		//twicelint:allocok mitigation ops are rare relative to ACTs; backing array amortizes
 		b.mit = append(b.mit, mitOp{deviceRefresh: false})
 	}
 	if a.Detected {
@@ -862,6 +876,7 @@ func (ch *channel) removeRequest(q *Request) {
 // scheduler bug, never a caller error.
 func must(err error) {
 	if err != nil {
+		//twicelint:allocok panic path: the simulation is already dead
 		panic(fmt.Sprintf("mc: internal protocol violation: %v", err))
 	}
 }

@@ -85,7 +85,7 @@ type gauge struct {
 // are already independent machines), which is also what makes parallel
 // telemetry deterministic.
 type Recorder struct {
-	cfg    Config
+	cfg    Config //twicelint:keep sizing/topology survives Reset by documented contract
 	totals EventTotals
 
 	latency  *stats.Histogram // request completion - arrival, in ps
@@ -282,6 +282,7 @@ func (r *Recorder) Refresh(now clock.Time) {
 			r.dropped++
 			continue
 		}
+		//twicelint:allocok one sample per tREFI, bounded by MaxSamples; growth amortizes
 		g.samples = append(g.samples, GaugePoint{T: now, V: g.fn()})
 	}
 	if step := r.cfg.SampleEvery; step > 0 {

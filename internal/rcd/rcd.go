@@ -23,7 +23,11 @@ type Stats struct {
 
 // RCD wires a defense into the command stream.
 type RCD struct {
-	p   dram.Params
+	p dram.Params //twicelint:keep DIMM parameters, fixed at construction
+	// def survives Reset: each grid cell installs its own freshly built
+	// defense via SetDefense, and the defense may have reuse semantics of
+	// its own (TWiCe's in-place table Clear).
+	//twicelint:keep caller-owned; swapped via SetDefense, reset by the caller
 	def defense.Defense
 	// pendingARR[flatBank] holds aggressor rows awaiting ARR. The paper's
 	// protocol converts the aggressor's PRE into an ARR; detection happens
@@ -32,6 +36,7 @@ type RCD struct {
 	pendingARR [][]int
 	stats      Stats
 	// probes, when non-nil, receives ARR-queued telemetry events.
+	//twicelint:keep attachment is machine-owned; Reset must not detach it
 	probes *probe.Recorder
 }
 
@@ -72,6 +77,8 @@ func (r *RCD) Stats() Stats { return r.stats }
 // ARRs as pending work for the bank. The remaining mitigation work (victim
 // refreshes the controller performs itself, extra counter traffic) is
 // returned for the controller to execute.
+//
+//twicelint:hotpath defense observation point on every ACT
 func (r *RCD) ObserveACT(bank dram.BankID, row int, now clock.Time) defense.Action {
 	a := r.def.OnActivate(bank, row, now)
 	if a.Detected {
@@ -79,6 +86,7 @@ func (r *RCD) ObserveACT(bank dram.BankID, row int, now clock.Time) defense.Acti
 	}
 	if len(a.ARRAggressors) > 0 {
 		i := bank.Flat(&r.p)
+		//twicelint:allocok ARR filing is rare (per detection, not per ACT); storage reused via [:0]
 		r.pendingARR[i] = append(r.pendingARR[i], a.ARRAggressors...)
 		a.ARRAggressors = nil
 		if r.probes != nil {

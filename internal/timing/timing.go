@@ -67,7 +67,7 @@ type rankState struct {
 
 // Checker tracks protocol state for every bank and rank in the system.
 type Checker struct {
-	p       dram.Params
+	p       dram.Params //twicelint:keep timing parameters, fixed at construction
 	banks   []bankState
 	ranks   []rankState
 	busFree []clock.Time // per-channel data bus availability
@@ -143,10 +143,12 @@ func (c *Checker) EarliestACT(id dram.BankID, now clock.Time) clock.Time {
 // surface immediately instead of silently producing impossible schedules.
 func (c *Checker) RecordACT(id dram.BankID, t clock.Time) error {
 	if e := c.EarliestACT(id, t); t < e {
+		//twicelint:allocok cold error path: timing violation is a scheduler bug
 		return fmt.Errorf("timing: ACT to %v at %v violates constraints (earliest %v)", id, t, e)
 	}
 	b, r := c.bank(id), c.rank(id)
 	if b.rowOpen {
+		//twicelint:allocok cold error path: timing violation is a scheduler bug
 		return fmt.Errorf("timing: ACT to %v at %v with row already open", id, t)
 	}
 	b.rowOpen = true
@@ -171,9 +173,11 @@ func (c *Checker) EarliestPRE(id dram.BankID, now clock.Time) clock.Time {
 func (c *Checker) RecordPRE(id dram.BankID, t clock.Time) error {
 	b := c.bank(id)
 	if !b.rowOpen {
+		//twicelint:allocok cold error path: timing violation is a scheduler bug
 		return fmt.Errorf("timing: PRE to %v at %v with no open row", id, t)
 	}
 	if e := c.EarliestPRE(id, t); t < e {
+		//twicelint:allocok cold error path: timing violation is a scheduler bug
 		return fmt.Errorf("timing: PRE to %v at %v violates constraints (earliest %v)", id, t, e)
 	}
 	b.rowOpen = false
@@ -206,9 +210,11 @@ func (c *Checker) EarliestColumn(id dram.BankID, now clock.Time) clock.Time {
 func (c *Checker) RecordRead(id dram.BankID, t clock.Time) (clock.Time, error) {
 	b := c.bank(id)
 	if !b.rowOpen {
+		//twicelint:allocok cold error path: timing violation is a scheduler bug
 		return 0, fmt.Errorf("timing: RD to %v at %v with no open row", id, t)
 	}
 	if e := c.EarliestColumn(id, t); t < e {
+		//twicelint:allocok cold error path: timing violation is a scheduler bug
 		return 0, fmt.Errorf("timing: RD to %v at %v violates constraints (earliest %v)", id, t, e)
 	}
 	done := t + c.p.TCL + c.p.TBL
@@ -232,9 +238,11 @@ func (c *Checker) recordCol(id dram.BankID, t clock.Time) {
 func (c *Checker) RecordWrite(id dram.BankID, t clock.Time) (clock.Time, error) {
 	b := c.bank(id)
 	if !b.rowOpen {
+		//twicelint:allocok cold error path: timing violation is a scheduler bug
 		return 0, fmt.Errorf("timing: WR to %v at %v with no open row", id, t)
 	}
 	if e := c.EarliestColumn(id, t); t < e {
+		//twicelint:allocok cold error path: timing violation is a scheduler bug
 		return 0, fmt.Errorf("timing: WR to %v at %v violates constraints (earliest %v)", id, t, e)
 	}
 	burstEnd := t + c.p.TCL + c.p.TBL
@@ -268,6 +276,7 @@ func (c *Checker) EarliestREF(id dram.RankID, now clock.Time) clock.Time {
 // the rank are busy until t+tRFC.
 func (c *Checker) RecordREF(id dram.RankID, t clock.Time) error {
 	if e := c.EarliestREF(id, t); t < e {
+		//twicelint:allocok cold error path: timing violation is a scheduler bug
 		return fmt.Errorf("timing: REF to %v at %v violates constraints (earliest %v)", id, t, e)
 	}
 	r := &c.ranks[id.Flat(&c.p)]
@@ -302,9 +311,11 @@ func (c *Checker) EarliestARR(id dram.BankID, now clock.Time) clock.Time {
 func (c *Checker) RecordARR(id dram.BankID, t clock.Time) error {
 	b, r := c.bank(id), c.rank(id)
 	if b.rowOpen {
+		//twicelint:allocok cold error path: timing violation is a scheduler bug
 		return fmt.Errorf("timing: ARR to %v at %v with row open", id, t)
 	}
 	if e := c.EarliestARR(id, t); t < e {
+		//twicelint:allocok cold error path: timing violation is a scheduler bug
 		return fmt.Errorf("timing: ARR to %v at %v violates constraints (earliest %v)", id, t, e)
 	}
 	end := t + c.ARRDuration()

@@ -5,8 +5,13 @@
 #
 #   1. go vet          — stdlib static checks
 #   2. go build        — everything compiles
-#   3. twicelint       — determinism & hygiene rules (internal/lint); the
-#                        build fails on any finding
+#   3. twicelint       — determinism, hygiene, and hot-path rules
+#                        (internal/lint); the build fails on any finding,
+#                        and the failure output ends with a per-rule count
+#                        summary (e.g. "2 finding(s) (hotpath: 2)")
+#   3b. twicelint self-check — the analyzer analyzes its own engine, so a
+#                        change to internal/lint cannot land findings in
+#                        the tool that is supposed to report them
 #   4. go test         — full test suite (includes the golden linter tests,
 #                        the whole-repo lint run, and the same-seed
 #                        byte-identity determinism tests)
@@ -30,6 +35,9 @@ go build ./...
 
 echo "==> twicelint ./..."
 go run ./cmd/twicelint ./...
+
+echo "==> twicelint self-check ./internal/lint/..."
+go run ./cmd/twicelint ./internal/lint/...
 
 echo "==> go test ./..."
 go test ./...
