@@ -1,5 +1,5 @@
 // Command perfbench measures the repository's performance envelope and
-// writes it to a JSON file (BENCH_4.json by default) so successive PRs can
+// writes it to a JSON file (BENCH_5.json by default) so successive PRs can
 // track the trajectory. Earlier trajectory points (BENCH_2.json,
 // BENCH_3.json, ...) are never overwritten: each measurement generation
 // writes its own file.
@@ -17,6 +17,10 @@
 //     (sim_run_s3_probed): the probed-over-detached ns/op ratio is the
 //     observability tax, which the probe design keeps to the nil checks
 //     plus histogram increments;
+//   - the scheduler in isolation: ns/step and allocs/step for a controller
+//     held at fixed read-queue depths (8, 32, 64), timing channel.step's
+//     indexed candidate selection without workload-generation noise —
+//     the leg that tracks the indexed-scheduler rework directly;
 //   - grid throughput: cells/sec for the Figure 7(b) grid executed serially
 //     (Parallel = 1) and on the worker pool, with the speedup and the real
 //     GOMAXPROCS/worker count recorded so a degenerate single-CPU
@@ -29,13 +33,14 @@
 //
 // Usage:
 //
-//	perfbench [-out BENCH_4.json] [-requests 40000] [-parallel 0]
+//	perfbench [-out BENCH_5.json] [-requests 40000] [-parallel 0]
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"testing"
@@ -43,11 +48,15 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/defense"
+	"repro/internal/dram"
 	"repro/internal/experiments"
 	"repro/internal/mc"
 	"repro/internal/parallel"
 	"repro/internal/probe"
+	"repro/internal/rcd"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -74,6 +83,17 @@ type gridThroughput struct {
 	Speedup         float64 `json:"speedup"`
 }
 
+// schedLeg is one fixed-depth measurement of channel.step in isolation: a
+// controller is kept topped up to Depth queued reads while the event loop
+// pumps it, so ns/step times candidate selection plus command execution and
+// allocs/step pins the hot path's steady-state allocation count (zero).
+type schedLeg struct {
+	Depth         int     `json:"queue_depth"`
+	StepsPerOp    int64   `json:"steps_per_op"`
+	NsPerStep     float64 `json:"ns_per_step"`
+	AllocsPerStep float64 `json:"allocs_per_step"`
+}
+
 type report struct {
 	GOMAXPROCS    int            `json:"gomaxprocs"`
 	HotPath       hotPath        `json:"sim_run_s3"`
@@ -81,11 +101,12 @@ type report struct {
 	HotPathProbed hotPath        `json:"sim_run_s3_probed"`
 	BytesRatio    float64        `json:"fresh_over_reused_bytes"`
 	ProbeOverhead float64        `json:"probed_over_detached_ns"`
+	Scheduler     []schedLeg     `json:"scheduler_step"`
 	Figure7b      gridThroughput `json:"figure7b_grid"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_4.json", "output JSON file")
+	out := flag.String("out", "BENCH_5.json", "output JSON file")
 	requests := flag.Int64("requests", 40000, "demand requests per Figure 7(b) cell")
 	par := flag.Int("parallel", 0, "workers for the parallel grid leg (0 = all CPUs)")
 	flag.Parse()
@@ -124,6 +145,17 @@ func main() {
 	}
 	fmt.Printf("  %d ns/op, %d allocs/op, %d B/op (%.3fx the detached run)\n",
 		pp.NsPerOp, pp.AllocsPerOp, pp.BytesPerOp, rep.ProbeOverhead)
+
+	fmt.Println("perfbench: scheduler step at fixed queue depths...")
+	for _, depth := range []int{8, 32, 64} {
+		leg, err := benchScheduler(depth)
+		if err != nil {
+			fail(err)
+		}
+		rep.Scheduler = append(rep.Scheduler, leg)
+		fmt.Printf("  depth %2d: %.1f ns/step, %.3f allocs/step (%d steps/op)\n",
+			leg.Depth, leg.NsPerStep, leg.AllocsPerStep, leg.StepsPerOp)
+	}
 
 	fmt.Println("perfbench: Figure 7(b) grid, serial vs parallel...")
 	gt, err := benchGrid(*requests, *par)
@@ -226,6 +258,84 @@ func benchHotPath(reuse, probed bool) (hotPath, error) {
 		hp.NsPerReq = float64(res.NsPerOp()) / float64(served)
 	}
 	return hp, nil
+}
+
+// benchScheduler pumps one controller's event loop while keeping its read
+// queue topped up to depth, so every step selects among ~depth candidates.
+// Requests come from a recycled free list and readdress uniformly over the
+// banks and a small row set (a mix of row hits, misses, and conflicts).
+// Steps are counted with System.Steps across the timed region, making
+// ns/step and allocs/step exact per-step averages.
+func benchScheduler(depth int) (schedLeg, error) {
+	p := dram.DDR4_2400()
+	p.Channels = 1
+	p.RanksPerChannel = 2
+	p.BanksPerRank = 8
+	p.RowsPerBank = 1 << 10
+	cfg := mc.NewConfig(p)
+	cfg.QueueDepth = 2 * depth
+	dev, err := dram.NewDevice(p, nil)
+	if err != nil {
+		return schedLeg{}, err
+	}
+	sys, err := mc.New(cfg, dev, rcd.New(p, defense.Nop{}), &stats.Counters{})
+	if err != nil {
+		return schedLeg{}, err
+	}
+	free := make([]*mc.Request, 0, 2*depth+1)
+	sys.SetRelease(func(q *mc.Request) { free = append(free, q) })
+	for i := 0; i < 2*depth+1; i++ {
+		free = append(free, &mc.Request{})
+	}
+	inflight := 0
+	onDone := func(clock.Time) { inflight-- }
+	rng := rand.New(rand.NewSource(7))
+	now := clock.Time(0)
+	pump := func() {
+		for inflight < depth && len(free) > 0 {
+			q := free[len(free)-1]
+			free = free[:len(free)-1]
+			*q = mc.Request{
+				ID: sys.NewID(),
+				Addr: dram.Addr{
+					Rank: rng.Intn(p.RanksPerChannel),
+					Bank: rng.Intn(p.BanksPerRank),
+					Row:  rng.Intn(16),
+					Col:  rng.Intn(p.ColumnsPerRow),
+				},
+				Core: rng.Intn(4),
+				Done: onDone,
+			}
+			if !sys.Enqueue(q, now) {
+				free = append(free, q)
+				break
+			}
+			inflight++
+		}
+		for i := 0; i < 8; i++ {
+			now = sys.NextEvent()
+			sys.Advance(now)
+		}
+	}
+	for i := 0; i < 500; i++ { // warm every queue and index to steady state
+		pump()
+	}
+	var steps int64
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		start := sys.Steps()
+		for i := 0; i < b.N; i++ {
+			pump()
+		}
+		steps = sys.Steps() - start
+	})
+	// steps holds the final (measured) benchmark run's step count.
+	leg := schedLeg{Depth: depth, StepsPerOp: steps / int64(res.N)}
+	if steps > 0 {
+		leg.NsPerStep = float64(res.T.Nanoseconds()) / float64(steps)
+		leg.AllocsPerStep = float64(res.MemAllocs) / float64(steps)
+	}
+	return leg, nil
 }
 
 // benchGrid times Figure 7(b) serially and on the worker pool. Both legs run

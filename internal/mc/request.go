@@ -23,6 +23,15 @@ type Request struct {
 	nackWindow clock.Time // dedupes nack counting per ARR window
 	neededACT  bool       // the request opened its row (row miss or conflict)
 	neededPRE  bool       // the request had to close another row first
+
+	// Index state maintained by the channel's queue indexes (queue.go).
+	// stamp is the channel admission sequence number; together with fromWQ
+	// it reproduces the pool-position ordering of the naive scheduler (reads
+	// in arrival order, then buffered writes in arrival order) without
+	// rebuilding the pool, so the indexed scheduler's demand tie-break is
+	// byte-identical to the reference (DESIGN.md §13).
+	stamp  int64
+	fromWQ bool // queued in the write buffer rather than the read queue
 }
 
 // String renders the request for diagnostics.

@@ -2,14 +2,18 @@
 // FR-FCFS and PAR-BS command scheduling, open/closed/minimalist-open page
 // policies, auto-refresh pacing, and the RCD-mediated adjacent-row-refresh
 // protocol with negative acknowledgements.
+//
+// The package is split by responsibility: queue.go holds the per-channel
+// queue state and the incrementally maintained scheduler indexes,
+// scheduler.go the indexed candidate selection, reference.go the retained
+// naive scheduler the differential test pins it against, and exec.go the
+// command execution shared by both.
 package mc
 
 import (
 	"fmt"
-	"slices"
 
 	"repro/internal/clock"
-	"repro/internal/defense"
 	"repro/internal/dram"
 	"repro/internal/probe"
 	"repro/internal/rcd"
@@ -76,48 +80,6 @@ func (c Config) Validate() error {
 	return c.DRAM.Validate()
 }
 
-// mitOp is one unit of defense-mandated work on a bank: refreshing a victim
-// row, or (for CRA) a timing-only access to the counter region.
-type mitOp struct {
-	row           int
-	deviceRefresh bool
-}
-
-// bankCtl is the controller's view of one bank.
-type bankCtl struct {
-	open int // open logical row, -1 when precharged
-	hits int // column accesses since the row opened
-	mit  []mitOp
-}
-
-// channel owns one memory channel's queue and banks.
-type channel struct {
-	sys        *System
-	idx        int
-	queue      []*Request   // demand reads (and writes when buffering is off)
-	wqueue     []*Request   // posted writes awaiting drain
-	draining   bool         // write-drain burst in progress
-	banks      []bankCtl    // rank-major: rank*BanksPerRank + bank
-	refreshDue []clock.Time // per rank
-	coreRank   map[int]int  // PAR-BS thread ranking for the current batch
-	wake       clock.Time
-
-	// Per-step scratch, reused across the event loop's per-tREFI refresh
-	// and scheduling scans so the hot path stays allocation-free.
-	refreshScratch []bool     // per rank: refresh due and not postponed
-	hitScratch     []bool     // per bank: some queued request hits the open row
-	preScratch     []bool     // per bank: a conflicting PRE already planned
-	drainScratch   []*Request // scheduling pool when writes join the reads
-
-	// PAR-BS batch-formation scratch (cleared and refilled per batch).
-	batchSlot  map[batchSlot]int // marked requests per (core, rank, bank)
-	batchLoad  map[int]int       // marked requests per core
-	batchCores []int             // cores sorted by marked load
-}
-
-// batchSlot keys the PAR-BS per-(core, bank) marking cap.
-type batchSlot struct{ core, rank, bank int }
-
 // System is the full memory controller population plus the DRAM device,
 // timing checker, and RCD-hosted defense it drives.
 type System struct {
@@ -128,12 +90,24 @@ type System struct {
 	cnt   *stats.Counters //twicelint:keep wiring; counters are reset by the machine that owns them
 	chans []*channel
 	ids   int64
+	// steps counts scheduler steps executed since construction or Reset;
+	// cmd/perfbench divides wall time by it for the ns/step legs.
+	steps int64
 	// nextWake caches the minimum of the channels' wake times so the event
 	// loop's NextEvent poll is O(1) instead of a per-iteration rescan of
 	// every channel. It is maintained by Enqueue (a new request can only
 	// pull the wake time earlier) and recomputed by Advance in the same
 	// pass that steps the channels.
 	nextWake clock.Time
+	// refSched switches every channel to the retained naive reference
+	// scheduler (reference.go). Selection survives Reset like the rest of
+	// the configuration.
+	//twicelint:keep scheduler selection is configuration, not run state
+	refSched bool
+	// trace, when set, receives every issued command (see exec). Test
+	// harness hook; the attachment is caller-owned and survives Reset.
+	//twicelint:keep caller-owned hook; survives reset like the probe attachment
+	trace func(TraceEvent)
 	// release, when set, receives every request after its completion
 	// callback has run, letting the submitter pool and reuse request
 	// objects. The system never touches a request after releasing it.
@@ -172,6 +146,11 @@ func New(cfg Config, dev *dram.Device, r *rcd.RCD, cnt *stats.Counters) (*System
 			banks:          make([]bankCtl, nbanks),
 			refreshDue:     make([]clock.Time, cfg.DRAM.RanksPerChannel),
 			coreRank:       map[int]int{},
+			bankqs:         make([]bankq, nbanks),
+			rankDemand:     make([]int, cfg.DRAM.RanksPerChannel),
+			attn:           make([]bool, nbanks),
+			timGen:         make([]uint64, nbanks),
+			ready:          make([]bankTiming, nbanks),
 			refreshScratch: make([]bool, cfg.DRAM.RanksPerChannel),
 			hitScratch:     make([]bool, nbanks),
 			preScratch:     make([]bool, nbanks),
@@ -205,6 +184,18 @@ func New(cfg Config, dev *dram.Device, r *rcd.RCD, cnt *stats.Counters) (*System
 // completion callback has returned and the system holds no further reference
 // to it. Pass nil to disable pooling (the default).
 func (s *System) SetRelease(fn func(*Request)) { s.release = fn }
+
+// SetTrace installs a command trace hook: fn receives every issued DRAM
+// command, in issue order, before it executes. Pass nil to detach. The
+// differential scheduler test compares full traces through this hook; it is
+// not intended for production runs (the callback runs on the hot path).
+func (s *System) SetTrace(fn func(TraceEvent)) { s.trace = fn }
+
+// UseReferenceScheduler switches every channel between the indexed scheduler
+// (the default) and the retained naive reference implementation. Both issue
+// byte-identical command streams; the reference exists as the differential
+// test's ground truth and as a debugging aid.
+func (s *System) UseReferenceScheduler(on bool) { s.refSched = on }
 
 // SetProbes attaches (or, with nil, detaches) a telemetry recorder. The
 // recorder must not be shared across concurrently running systems; Reset
@@ -247,8 +238,18 @@ func (s *System) Reset() {
 		clear(ch.batchSlot)
 		clear(ch.batchLoad)
 		ch.batchCores = ch.batchCores[:0]
+		ch.resetIndexes()
+		// Re-derive the attention set from the RCD in case the caller resets
+		// it after the controller (the machine owns the order); a bank with
+		// leftover pending ARRs must stay in the set.
+		for rk := 0; rk < cfg.DRAM.RanksPerChannel; rk++ {
+			for ba := 0; ba < cfg.DRAM.BanksPerRank; ba++ {
+				ch.updateAttn(ch.flat(rk, ba), ch.bankID(rk, ba))
+			}
+		}
 	}
 	s.ids = 0
+	s.steps = 0
 	clear(s.detectionsByCore)
 	s.nextWake = clock.Never
 	for _, ch := range s.chans {
@@ -268,6 +269,10 @@ func (s *System) RCD() *rcd.RCD { return s.rcd }
 // NewID allocates a request id.
 func (s *System) NewID() int64 { s.ids++; return s.ids }
 
+// Steps returns how many scheduler steps have executed since construction or
+// the last Reset. One step issues at most one DRAM command.
+func (s *System) Steps() int64 { return s.steps }
+
 // DetectionsByCore returns, per core, how many row-hammer detections that
 // core's activations triggered (a copy).
 func (s *System) DetectionsByCore() map[int]int64 {
@@ -286,6 +291,30 @@ func (s *System) HasSpace(channelIdx int) bool {
 // QueueLen returns the channel's current queue occupancy.
 func (s *System) QueueLen(channelIdx int) int { return len(s.chans[channelIdx].queue) }
 
+// BankQueueDepth returns how many queued demand requests (read queue plus
+// write buffer) currently target the given bank — a direct read of the
+// scheduler's per-bank bucket.
+func (s *System) BankQueueDepth(channelIdx, rank, bank int) int {
+	ch := s.chans[channelIdx]
+	bq := &ch.bankqs[ch.flat(rank, bank)]
+	return len(bq.reads) + len(bq.writes)
+}
+
+// MaxBankQueueDepth returns the deepest per-bank request bucket across the
+// whole system — the queue-depth gauge the machine samples per tREFI.
+func (s *System) MaxBankQueueDepth() int64 {
+	var max int64
+	for _, ch := range s.chans {
+		for i := range ch.bankqs {
+			bq := &ch.bankqs[i]
+			if d := int64(len(bq.reads) + len(bq.writes)); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
 // Enqueue adds a request to its channel's queue (writes go to the write
 // buffer when buffering is enabled). It returns false if the target queue is
 // full (the caller must retry after progress).
@@ -300,10 +329,12 @@ func (s *System) Enqueue(req *Request, now clock.Time) bool {
 		req.Arrival = now
 		//twicelint:allocok amortized growth of the reused write-queue backing array
 		ch.wqueue = append(ch.wqueue, req)
+		ch.admit(req, true)
 		ch.wake = clock.Min(ch.wake, now)
 		s.nextWake = clock.Min(s.nextWake, ch.wake)
 		if s.probes != nil {
 			s.probes.Enqueue(len(ch.wqueue), now)
+			s.probes.BankDepth(s.BankQueueDepth(req.Addr.Channel, req.Addr.Rank, req.Addr.Bank), now)
 		}
 		return true
 	}
@@ -313,10 +344,12 @@ func (s *System) Enqueue(req *Request, now clock.Time) bool {
 	req.Arrival = now
 	//twicelint:allocok amortized growth of the reused read-queue backing array
 	ch.queue = append(ch.queue, req)
+	ch.admit(req, false)
 	ch.wake = clock.Min(ch.wake, now)
 	s.nextWake = clock.Min(s.nextWake, ch.wake)
 	if s.probes != nil {
 		s.probes.Enqueue(len(ch.queue), now)
+		s.probes.BankDepth(s.BankQueueDepth(req.Addr.Channel, req.Addr.Rank, req.Addr.Bank), now)
 	}
 	return true
 }
@@ -332,551 +365,24 @@ func (s *System) NextEvent() clock.Time {
 }
 
 // Advance drives every channel up to and including time now, refreshing the
-// cached next-event time in the same pass.
+// cached next-event time in the same pass. Channels whose wake time lies in
+// the future are skipped without entering their step loop.
 //
 //twicelint:hotpath the event-loop core; every simulated tick funnels through it
 func (s *System) Advance(now clock.Time) {
 	next := clock.Never
 	for _, ch := range s.chans {
+		if ch.wake > now {
+			next = clock.Min(next, ch.wake)
+			continue
+		}
+		steps := int64(0)
 		for ch.wake <= now {
 			ch.wake = ch.step(now)
+			steps++
 		}
+		s.steps += steps
 		next = clock.Min(next, ch.wake)
 	}
 	s.nextWake = next
-}
-
-func (ch *channel) bankID(rank, bank int) dram.BankID {
-	return dram.BankID{Channel: ch.idx, Rank: rank, Bank: bank}
-}
-
-func (ch *channel) bank(rank, bank int) *bankCtl {
-	return &ch.banks[rank*ch.sys.cfg.DRAM.BanksPerRank+bank]
-}
-
-// op is a command opcode for a scheduling candidate. Candidates carry an
-// opcode plus operands instead of a ready-to-run closure: scheduleDemand
-// emits a candidate per queued request per step, so closure allocation here
-// would dominate the event loop (it was ~97% of a run's allocations).
-type op int8
-
-const (
-	opNone   op = iota
-	opPRE       // precharge bank (rank, bank)
-	opREF       // auto-refresh rank (rank)
-	opARR       // adjacent-row refresh on bank (rank, bank)
-	opMit       // one unit of mitigation debt on bank (rank, bank)
-	opACT       // activate req's row (req)
-	opColumn    // column access for req (req)
-)
-
-// candidate is one issuable (or future) command.
-type candidate struct {
-	t          clock.Time
-	class      int   // 0 refresh, 1 ARR, 2 mitigation, 3 demand
-	seq        int64 // tie-break within class (scheduler order for demand)
-	op         op
-	rank, bank int
-	req        *Request
-}
-
-// step issues at most one DRAM command for the channel at time now,
-// returning the time of the next step. A return > now means nothing was
-// issuable at now.
-func (ch *channel) step(now clock.Time) clock.Time {
-	s := ch.sys
-	p := s.cfg.DRAM
-	best := candidate{t: clock.Never}
-	earliest := clock.Never
-
-	//twicelint:allocok non-escaping closure; escape analysis keeps it on the stack
-	consider := func(c candidate) {
-		earliest = clock.Min(earliest, c.t)
-		if c.t > now {
-			return
-		}
-		if best.op == opNone || c.class < best.class || (c.class == best.class && c.seq < best.seq) {
-			best = c
-		}
-	}
-
-	refreshPending := ch.refreshScratch
-	for i := range refreshPending {
-		refreshPending[i] = false
-	}
-	for rk := 0; rk < p.RanksPerChannel; rk++ {
-		due := ch.refreshDue[rk]
-		if now < due {
-			earliest = clock.Min(earliest, due)
-			continue
-		}
-		// JEDEC postponement: defer the REF while demand for this rank is
-		// pending and the debt stays under the budget; the hard deadline
-		// forces the catch-up burst.
-		if pp := s.cfg.RefreshPostpone; pp > 0 {
-			lag := int((now - due) / p.TREFI)
-			if lag < pp && ch.rankHasDemand(rk) {
-				earliest = clock.Min(earliest, due+clock.Time(pp)*p.TREFI)
-				continue
-			}
-		}
-		refreshPending[rk] = true
-		rankID := dram.RankID{Channel: ch.idx, Rank: rk}
-		allClosed := true
-		for ba := 0; ba < p.BanksPerRank; ba++ {
-			if ch.bank(rk, ba).open >= 0 {
-				allClosed = false
-				id := ch.bankID(rk, ba)
-				consider(candidate{t: s.chk.EarliestPRE(id, now), class: 0, op: opPRE, rank: rk, bank: ba})
-			}
-		}
-		if allClosed {
-			t := s.chk.EarliestREF(rankID, now)
-			consider(candidate{t: t, class: 0, op: opREF, rank: rk})
-		}
-	}
-
-	for rk := 0; rk < p.RanksPerChannel; rk++ {
-		for ba := 0; ba < p.BanksPerRank; ba++ {
-			id := ch.bankID(rk, ba)
-			b := ch.bank(rk, ba)
-			hasARR := s.rcd.HasPendingARR(id)
-			if !hasARR && len(b.mit) == 0 {
-				continue
-			}
-			if b.open >= 0 {
-				// Close the bank once no queued request still hits the open
-				// row, so in-flight accesses are not starved.
-				if !ch.queuedHit(id, b.open) {
-					class := 2
-					if hasARR {
-						class = 1
-					}
-					consider(candidate{t: s.chk.EarliestPRE(id, now), class: class, op: opPRE, rank: rk, bank: ba})
-				}
-				continue
-			}
-			if hasARR {
-				consider(candidate{t: s.chk.EarliestARR(id, now), class: 1, op: opARR, rank: rk, bank: ba})
-				continue
-			}
-			consider(candidate{t: s.chk.EarliestACT(id, now), class: 2, op: opMit, rank: rk, bank: ba})
-		}
-	}
-
-	ch.scheduleDemand(now, refreshPending, consider)
-
-	if best.op != opNone {
-		ch.exec(best)
-		return now // more work may be issuable at the same instant
-	}
-	if earliest <= now {
-		// Defensive: nothing ran but a candidate claimed readiness — avoid
-		// spinning by nudging past the instant.
-		return now + 1
-	}
-	return earliest
-}
-
-// rankHasDemand reports whether any queued request (read or buffered write)
-// targets the rank.
-func (ch *channel) rankHasDemand(rk int) bool {
-	for _, q := range ch.queue {
-		if q.Addr.Rank == rk {
-			return true
-		}
-	}
-	for _, q := range ch.wqueue {
-		if q.Addr.Rank == rk {
-			return true
-		}
-	}
-	return false
-}
-
-// queuedHit reports whether any queued request targets the bank's open row.
-func (ch *channel) queuedHit(id dram.BankID, row int) bool {
-	for _, q := range ch.queue {
-		if q.Addr.Bank == id.Bank && q.Addr.Rank == id.Rank && q.Addr.Row == row {
-			return true
-		}
-	}
-	for _, q := range ch.wqueue {
-		if q.Addr.Bank == id.Bank && q.Addr.Rank == id.Rank && q.Addr.Row == row {
-			return true
-		}
-	}
-	return false
-}
-
-// drainSet decides which queues feed the scheduler this step: reads always;
-// buffered writes only during a drain burst (entered at the high watermark
-// or an idle read queue, left at the low watermark).
-func (ch *channel) drainSet() []*Request {
-	cfg := ch.sys.cfg
-	if cfg.WriteQueueDepth == 0 {
-		return ch.queue
-	}
-	switch {
-	case ch.draining && len(ch.wqueue) <= cfg.WriteLow:
-		ch.draining = false
-	case !ch.draining && (len(ch.wqueue) >= cfg.WriteHigh || (len(ch.queue) == 0 && len(ch.wqueue) > 0)):
-		ch.draining = true
-	}
-	if !ch.draining {
-		// Outside a burst, writes whose row is already open still complete
-		// (they cost one cheap column command and would otherwise strand a
-		// bank that was activated for them during the previous burst).
-		out := ch.queue
-		copied := false
-		for _, q := range ch.wqueue {
-			if ch.bank(q.Addr.Rank, q.Addr.Bank).open == q.Addr.Row {
-				if !copied {
-					out = append(ch.drainScratch[:0], ch.queue...)
-					copied = true
-				}
-				//twicelint:allocok extends drainScratch-backed storage; capacity persists across batches
-				out = append(out, q)
-			}
-		}
-		if copied {
-			ch.drainScratch = out[:0] // keep the grown capacity for reuse
-		}
-		return out
-	}
-	out := append(ch.drainScratch[:0], ch.queue...)
-	//twicelint:allocok extends drainScratch-backed storage; capacity persists across batches
-	out = append(out, ch.wqueue...)
-	ch.drainScratch = out[:0]
-	return out
-}
-
-// scheduleDemand emits candidates for queued requests in scheduler order.
-func (ch *channel) scheduleDemand(now clock.Time, refreshPending []bool, consider func(candidate)) {
-	s := ch.sys
-	if s.cfg.Scheduler == PARBS {
-		ch.refreshBatch()
-	}
-	pool := ch.drainSet()
-	// A bank's conflicting PRE is only allowed when no queued request hits
-	// the open row; precompute per-bank hit presence. The per-bank scratch
-	// slices are channel-owned and reused every step — the scans here run
-	// once per issued DRAM command, so map allocation would dominate the
-	// event loop.
-	banksPerRank := s.cfg.DRAM.BanksPerRank
-	hits, prePlanned := ch.hitScratch, ch.preScratch
-	for i := range hits {
-		hits[i] = false
-		prePlanned[i] = false
-	}
-	for _, q := range pool {
-		b := ch.bank(q.Addr.Rank, q.Addr.Bank)
-		if b.open == q.Addr.Row {
-			hits[q.Addr.Rank*banksPerRank+q.Addr.Bank] = true
-		}
-	}
-	for i, q := range pool {
-		if refreshPending[q.Addr.Rank] {
-			continue // drain the rank for refresh
-		}
-		id := q.Addr.BankID()
-		b := ch.bank(q.Addr.Rank, q.Addr.Bank)
-		// Column accesses to the open row always proceed (they drain the
-		// row so mitigation can precharge); opening a new row waits until
-		// the bank's mitigation debt is paid.
-		if b.open != q.Addr.Row && (s.rcd.HasPendingARR(id) || len(b.mit) > 0) {
-			continue
-		}
-		key := q.Addr.Rank*banksPerRank + q.Addr.Bank
-		switch {
-		case b.open == q.Addr.Row:
-			t := s.chk.EarliestColumn(id, now)
-			consider(candidate{t: t, class: 3, seq: ch.demandSeq(q, true, i), op: opColumn, req: q})
-		case b.open < 0:
-			t := s.chk.EarliestACT(id, now)
-			ch.countNack(q, id, now)
-			consider(candidate{t: t, class: 3, seq: ch.demandSeq(q, false, i), op: opACT, req: q})
-		default:
-			if hits[key] || prePlanned[key] {
-				continue // other requests still hit the open row
-			}
-			prePlanned[key] = true
-			t := s.chk.EarliestPRE(id, now)
-			q.neededPRE = true
-			consider(candidate{t: t, class: 3, seq: ch.demandSeq(q, false, i), op: opPRE, rank: q.Addr.Rank, bank: q.Addr.Bank})
-		}
-	}
-}
-
-// countNack records one nacked command attempt per request per ARR window.
-func (ch *channel) countNack(q *Request, id dram.BankID, now clock.Time) {
-	blocked := ch.sys.chk.RankBlockedUntil(id.RankID())
-	if blocked > now && q.nackWindow != blocked {
-		q.nackWindow = blocked
-		ch.sys.rcd.Nack()
-		ch.sys.cnt.Nacks++
-		if ch.sys.probes != nil {
-			ch.sys.probes.Nack(now)
-		}
-	}
-}
-
-// demandSeq orders demand candidates: PAR-BS prioritises marked requests and
-// lighter threads; both schedulers serve row hits before misses and then go
-// oldest-first.
-func (ch *channel) demandSeq(q *Request, hit bool, queueIdx int) int64 {
-	var seq int64
-	// During a drain burst, buffered writes count as first-class work so a
-	// steady read stream cannot starve the write buffer into backpressure.
-	marked := q.marked || (ch.draining && q.Write)
-	if ch.sys.cfg.Scheduler == PARBS && !marked {
-		seq |= 1 << 50
-	}
-	if !hit {
-		seq |= 1 << 45
-	}
-	if ch.sys.cfg.Scheduler == PARBS {
-		seq |= int64(ch.coreRank[q.Core]) << 25
-	}
-	return seq | int64(queueIdx)
-}
-
-// refreshBatch forms a new PAR-BS batch when the current one has drained:
-// the oldest BatchCap requests per (core, bank) are marked, and cores are
-// ranked by their total marked load (lightest first).
-func (ch *channel) refreshBatch() {
-	for _, q := range ch.queue {
-		if q.marked {
-			return
-		}
-	}
-	if len(ch.queue) == 0 {
-		return
-	}
-	perSlot, load := ch.batchSlot, ch.batchLoad
-	clear(perSlot)
-	clear(load)
-	for _, q := range ch.queue {
-		k := batchSlot{q.Core, q.Addr.Rank, q.Addr.Bank}
-		if perSlot[k] < ch.sys.cfg.BatchCap {
-			perSlot[k]++
-			q.marked = true
-			load[q.Core]++
-		}
-	}
-	// Rank cores by marked load ascending (shortest job first). The core
-	// list is sorted into channel-owned scratch: batch formation runs once
-	// per drained batch, but on short queues that is often enough for
-	// per-batch map and slice allocation to show up in profiles.
-	cores := ch.batchCores[:0]
-	for c := range load { //twicelint:ordered keys are sorted before use below
-		//twicelint:allocok extends batchCores scratch, bounded by the core count
-		cores = append(cores, c)
-	}
-	slices.Sort(cores)
-	ch.batchCores = cores
-	for i := 1; i < len(cores); i++ { // insertion sort: tiny n
-		for j := i; j > 0 && (load[cores[j]] < load[cores[j-1]] ||
-			(load[cores[j]] == load[cores[j-1]] && cores[j] < cores[j-1])); j-- {
-			cores[j], cores[j-1] = cores[j-1], cores[j]
-		}
-	}
-	clear(ch.coreRank)
-	for rank, c := range cores {
-		ch.coreRank[c] = rank
-	}
-}
-
-// ---- command execution ----
-
-// exec dispatches a selected candidate at its issue time.
-func (ch *channel) exec(c candidate) {
-	switch c.op {
-	case opPRE:
-		ch.doPRE(c.rank, c.bank, c.t)
-	case opREF:
-		ch.doREF(c.rank, c.t)
-	case opARR:
-		ch.doARR(c.rank, c.bank, c.t)
-	case opMit:
-		ch.doMit(c.rank, c.bank, c.t)
-	case opACT:
-		ch.doACT(c.req, c.t)
-	case opColumn:
-		ch.doColumn(c.req, c.t)
-	}
-}
-
-func (ch *channel) doPRE(rk, ba int, t clock.Time) {
-	s := ch.sys
-	id := ch.bankID(rk, ba)
-	must(s.chk.RecordPRE(id, t))
-	s.dev.Bank(id).Precharge()
-	b := ch.bank(rk, ba)
-	b.open = -1
-	b.hits = 0
-	s.cnt.Precharges++
-}
-
-func (ch *channel) doREF(rk int, t clock.Time) {
-	s := ch.sys
-	rankID := dram.RankID{Channel: ch.idx, Rank: rk}
-	must(s.chk.RecordREF(rankID, t))
-	for ba := 0; ba < s.cfg.DRAM.BanksPerRank; ba++ {
-		must(s.dev.Bank(ch.bankID(rk, ba)).AutoRefresh(t))
-	}
-	s.rcd.ObserveRefresh(rankID, t)
-	s.cnt.Refreshes++
-	if s.probes != nil {
-		s.probes.Refresh(t)
-	}
-	ch.refreshDue[rk] += s.cfg.DRAM.TREFI
-}
-
-func (ch *channel) doARR(rk, ba int, t clock.Time) {
-	s := ch.sys
-	id := ch.bankID(rk, ba)
-	row, ok := s.rcd.TakeARR(id)
-	if !ok {
-		return
-	}
-	must(s.chk.RecordARR(id, t))
-	n, err := s.dev.Bank(id).AdjacentRowRefresh(row, t)
-	must(err)
-	s.cnt.ARRs++
-	s.cnt.DefenseACTs += int64(n)
-	if s.probes != nil {
-		s.probes.ARR(id.Flat(&s.cfg.DRAM), t)
-	}
-}
-
-func (ch *channel) doMit(rk, ba int, t clock.Time) {
-	s := ch.sys
-	id := ch.bankID(rk, ba)
-	b := ch.bank(rk, ba)
-	if len(b.mit) == 0 {
-		return
-	}
-	op := b.mit[0]
-	b.mit = b.mit[1:]
-	must(s.chk.RecordACT(id, t))
-	preAt := s.chk.EarliestPRE(id, t)
-	must(s.chk.RecordPRE(id, preAt))
-	if op.deviceRefresh {
-		bank := s.dev.Bank(id)
-		must(bank.Activate(op.row, t))
-		bank.Precharge()
-	}
-	s.cnt.DefenseACTs++
-}
-
-func (ch *channel) doACT(q *Request, t clock.Time) {
-	s := ch.sys
-	id := q.Addr.BankID()
-	must(s.chk.RecordACT(id, t))
-	must(s.dev.Bank(id).Activate(q.Addr.Row, t))
-	b := ch.bank(q.Addr.Rank, q.Addr.Bank)
-	b.open = q.Addr.Row
-	b.hits = 0
-	q.neededACT = true
-	s.cnt.NormalACTs++
-	if s.probes != nil {
-		s.probes.ACT(id.Flat(&s.cfg.DRAM), t)
-	}
-	ch.applyAction(id, q.Core, s.rcd.ObserveACT(id, q.Addr.Row, t))
-}
-
-// applyAction queues the mitigation work a defense requested, attributing
-// any detection to the core whose activation caused it.
-func (ch *channel) applyAction(id dram.BankID, core int, a defense.Action) {
-	s := ch.sys
-	b := ch.bank(id.Rank, id.Bank)
-	for _, v := range a.LogicalVictims {
-		if v >= 0 && v < s.cfg.DRAM.RowsPerBank {
-			//twicelint:allocok mitigation ops are rare relative to ACTs; backing array amortizes
-			b.mit = append(b.mit, mitOp{row: v, deviceRefresh: true})
-		}
-	}
-	for i := 0; i < a.ExtraAccesses; i++ {
-		//twicelint:allocok mitigation ops are rare relative to ACTs; backing array amortizes
-		b.mit = append(b.mit, mitOp{deviceRefresh: false})
-	}
-	if a.Detected {
-		s.cnt.Detections++
-		s.detectionsByCore[core]++
-	}
-}
-
-func (ch *channel) doColumn(q *Request, t clock.Time) {
-	s := ch.sys
-	id := q.Addr.BankID()
-	var done clock.Time
-	var err error
-	if q.Write {
-		done, err = s.chk.RecordWrite(id, t)
-		s.cnt.Writes++
-	} else {
-		done, err = s.chk.RecordRead(id, t)
-		s.cnt.Reads++
-	}
-	must(err)
-	switch {
-	case !q.neededACT:
-		s.cnt.RowHits++
-	case q.neededPRE:
-		s.cnt.RowConflicts++
-	default:
-		s.cnt.RowMisses++
-	}
-	ch.removeRequest(q)
-	b := ch.bank(q.Addr.Rank, q.Addr.Bank)
-	b.hits++
-	closeNow := s.cfg.PagePolicy == ClosedPage ||
-		(s.cfg.PagePolicy == MinimalistOpen && b.hits >= s.cfg.MaxRowHits)
-	if closeNow {
-		preAt := s.chk.EarliestPRE(id, t)
-		must(s.chk.RecordPRE(id, preAt))
-		s.dev.Bank(id).Precharge()
-		b.open = -1
-		b.hits = 0
-		s.cnt.Precharges++
-	}
-	completion := done
-	if q.Write {
-		completion = t // posted write: the issuer does not wait
-	}
-	s.cnt.AddLatency(completion - q.Arrival)
-	if s.probes != nil {
-		s.probes.Dequeue(len(ch.queue)+len(ch.wqueue), completion-q.Arrival)
-	}
-	if q.Done != nil {
-		q.Done(completion)
-	}
-	if s.release != nil {
-		s.release(q) // q must not be touched past this point
-	}
-}
-
-func (ch *channel) removeRequest(q *Request) {
-	for i, r := range ch.queue {
-		if r == q {
-			ch.queue = append(ch.queue[:i], ch.queue[i+1:]...)
-			return
-		}
-	}
-	for i, r := range ch.wqueue {
-		if r == q {
-			ch.wqueue = append(ch.wqueue[:i], ch.wqueue[i+1:]...)
-			return
-		}
-	}
-}
-
-// must converts internal protocol violations into panics: they indicate a
-// scheduler bug, never a caller error.
-func must(err error) {
-	if err != nil {
-		//twicelint:allocok panic path: the simulation is already dead
-		panic(fmt.Sprintf("mc: internal protocol violation: %v", err))
-	}
 }

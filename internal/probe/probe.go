@@ -88,9 +88,10 @@ type Recorder struct {
 	cfg    Config //twicelint:keep sizing/topology survives Reset by documented contract
 	totals EventTotals
 
-	latency  *stats.Histogram // request completion - arrival, in ps
-	depth    *stats.Histogram // queue occupancy observed at enqueue/dequeue
-	interARR *stats.Histogram // same-bank ARR-to-ARR distance, in ps
+	latency   *stats.Histogram // request completion - arrival, in ps
+	depth     *stats.Histogram // queue occupancy observed at enqueue/dequeue
+	interARR  *stats.Histogram // same-bank ARR-to-ARR distance, in ps
+	bankDepth *stats.Histogram // per-bank scheduler-bucket occupancy at enqueue
 
 	lastARR []clock.Time // per flat bank; clock.Never = no ARR seen yet
 
@@ -133,6 +134,13 @@ func depthBounds() []int64 {
 	return []int64{0, 1, 2, 4, 8, 16, 32, 48, 64, 96, 128}
 }
 
+// bankDepthBounds covers one bank's share of the queue: with 64 entries
+// spread over 32+ banks, per-bank buckets rarely exceed a handful even when
+// the channel queue is full, so the low end gets unit resolution.
+func bankDepthBounds() []int64 {
+	return []int64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32}
+}
+
 // NewRecorder builds a recorder. Zero-value Config fields pick defaults at
 // machine attachment (Banks, SampleEvery) or construction (MaxSamples).
 func NewRecorder(cfg Config) *Recorder {
@@ -140,10 +148,11 @@ func NewRecorder(cfg Config) *Recorder {
 		cfg.MaxSamples = DefaultMaxSamples
 	}
 	r := &Recorder{
-		cfg:      cfg,
-		latency:  stats.NewHistogram(latencyBounds()...),
-		depth:    stats.NewHistogram(depthBounds()...),
-		interARR: stats.NewHistogram(interARRBounds()...),
+		cfg:       cfg,
+		latency:   stats.NewHistogram(latencyBounds()...),
+		depth:     stats.NewHistogram(depthBounds()...),
+		interARR:  stats.NewHistogram(interARRBounds()...),
+		bankDepth: stats.NewHistogram(bankDepthBounds()...),
 	}
 	r.EnsureTopology(cfg.Banks)
 	return r
@@ -229,6 +238,14 @@ func (r *Recorder) Nack(now clock.Time) {
 func (r *Recorder) Enqueue(depth int, now clock.Time) {
 	r.totals.Enqueues++
 	r.depth.Observe(int64(depth))
+	_ = now
+}
+
+// BankDepth records the post-insert occupancy of one per-bank scheduler
+// bucket (the controller's queued reads plus buffered writes targeting a
+// single bank) — the quantity the indexed scheduler iterates per step.
+func (r *Recorder) BankDepth(depth int, now clock.Time) {
+	r.bankDepth.Observe(int64(depth))
 	_ = now
 }
 
@@ -318,6 +335,7 @@ func (r *Recorder) Reset() {
 	r.latency = stats.NewHistogram(latencyBounds()...)
 	r.depth = stats.NewHistogram(depthBounds()...)
 	r.interARR = stats.NewHistogram(interARRBounds()...)
+	r.bankDepth = stats.NewHistogram(bankDepthBounds()...)
 	for i := range r.lastARR {
 		r.lastARR[i] = clock.Never
 	}

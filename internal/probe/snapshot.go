@@ -45,7 +45,7 @@ type Snapshot struct {
 	Events         EventTotals
 	MaxOccupancy   int
 	DroppedSamples int64
-	Histograms     []HistogramSnapshot // fixed order: latency_ps, queue_depth, inter_arr_ps
+	Histograms     []HistogramSnapshot // fixed order: latency_ps, queue_depth, inter_arr_ps, bank_queue_depth
 	Occupancy      []OccSample
 	Gauges         []GaugeSeries // registration order
 }
@@ -60,6 +60,7 @@ func (r *Recorder) Snapshot() Snapshot {
 			histSnapshot("latency_ps", r.latency),
 			histSnapshot("queue_depth", r.depth),
 			histSnapshot("inter_arr_ps", r.interARR),
+			histSnapshot("bank_queue_depth", r.bankDepth),
 		},
 		Occupancy: append([]OccSample(nil), r.occ...),
 	}

@@ -49,9 +49,9 @@ func TestCollectorWriteJSONL(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
-	// Per cell: one header line + three histogram lines.
-	if len(lines) != 8 {
-		t.Fatalf("got %d JSONL lines, want 8:\n%s", len(lines), buf.String())
+	// Per cell: one header line + four histogram lines.
+	if len(lines) != 10 {
+		t.Fatalf("got %d JSONL lines, want 10:\n%s", len(lines), buf.String())
 	}
 	var head struct {
 		Cell     int    `json:"cell"`

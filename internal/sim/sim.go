@@ -289,6 +289,7 @@ func (m *Machine) SetRecorder(rec *probe.Recorder) {
 	rec.SetDefaultSampleEvery(m.cfg.DRAM.TREFI)
 	rec.AddGauge("disturb_high_water", m.maxDisturbHighWater)
 	rec.AddGauge("requests_served", func() int64 { return m.served })
+	rec.AddGauge("max_bank_queue_depth", m.sys.MaxBankQueueDepth)
 }
 
 // Recorder returns the attached telemetry recorder, nil when detached.

@@ -15,6 +15,10 @@
 #   4. go test         — full test suite (includes the golden linter tests,
 #                        the whole-repo lint run, and the same-seed
 #                        byte-identity determinism tests)
+#   4b. bench smoke    — every sim benchmark body runs once (-benchtime=1x),
+#                        so a change that breaks only benchmark-path code
+#                        (the perfbench hot-path legs share these bodies)
+#                        cannot land green
 #   5. go test -race   — race detector over the event loop, the TWiCe
 #                        engine, and the parallel experiment runner, plus
 #                        the serial/parallel equivalence test so the real
@@ -41,6 +45,9 @@ go run ./cmd/twicelint ./internal/lint/...
 
 echo "==> go test ./..."
 go test ./...
+
+echo "==> go test -run='^\$' -bench=SimRun -benchtime=1x ./internal/sim"
+go test -run='^$' -bench=SimRun -benchtime=1x ./internal/sim
 
 echo "==> go test -race ./internal/sim/... ./internal/core/... ./internal/parallel/..."
 go test -race ./internal/sim/... ./internal/core/... ./internal/parallel/...
