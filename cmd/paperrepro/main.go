@@ -29,6 +29,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/experiments"
 	"repro/internal/probe"
 )
@@ -39,6 +40,8 @@ func main() {
 	requests := flag.Int64("requests", 0, "override demand requests per cell")
 	csvDir := flag.String("csv", "", "directory to also write fig7a.csv / fig7b.csv into")
 	par := flag.Int("parallel", 0, "worker goroutines per experiment grid (0 = all CPUs, 1 = serial)")
+	chanWorkers := flag.Int("channel-workers", 0, "goroutines across each cell machine's DRAM channels (0/1 = serial; byte-identical results, capped so cells×workers ≤ CPUs)")
+	chanEpoch := flag.Duration("channel-epoch", 0, "event-loop lookahead window per cell, e.g. 7.8us (0 = classic loop; changes arrival quantization deterministically)")
 	progressFlag := flag.Bool("progress", false, "report completed/total grid cells and ETA on stderr")
 	telemetryDir := flag.String("telemetry", "", "directory to write per-experiment telemetry CSV/JSONL into")
 	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
@@ -60,6 +63,8 @@ func main() {
 		s.Requests = *requests
 	}
 	s.Parallel = *par
+	s.ChannelWorkers = *chanWorkers
+	s.ChannelEpoch = clock.Time(chanEpoch.Nanoseconds()) * clock.Nanosecond
 
 	var cellsDone, cellsTotal expvar.Int
 	if *debugAddr != "" {

@@ -1,5 +1,5 @@
 // Command perfbench measures the repository's performance envelope and
-// writes it to a JSON file (BENCH_5.json by default) so successive PRs can
+// writes it to a JSON file (BENCH_6.json by default) so successive PRs can
 // track the trajectory. Earlier trajectory points (BENCH_2.json,
 // BENCH_3.json, ...) are never overwritten: each measurement generation
 // writes its own file.
@@ -25,7 +25,15 @@
 //     (Parallel = 1) and on the worker pool, with the speedup and the real
 //     GOMAXPROCS/worker count recorded so a degenerate single-CPU
 //     measurement (BENCH_2's speedup of 1.016 at gomaxprocs 1) is visible
-//     as such instead of reading like an engine defect.
+//     as such instead of reading like an engine defect;
+//   - channel scaling: ns/request for a uniform-random (S1) run on 1-, 2-,
+//     and 4-channel machines with ChannelWorkers 1, 2, and 4 under a
+//     one-tREFI epoch barrier, against the ChannelWorkers = 0 serial loop
+//     at the same epoch — the intra-machine parallelism leg. The serial
+//     and worker runs are byte-identical by construction (pinned by
+//     TestChannelParallelEquivalence), so only timing is recorded. As with
+//     the grid leg, gomaxprocs 1 makes every speedup degenerate (~1.0 or
+//     below, barrier overhead with nothing to overlap).
 //
 // Wall-clock timing is inherently nondeterministic; that is fine here
 // because the numbers are diagnostics, never simulation inputs (twicelint's
@@ -33,7 +41,8 @@
 //
 // Usage:
 //
-//	perfbench [-out BENCH_5.json] [-requests 40000] [-parallel 0]
+//	perfbench [-out BENCH_6.json] [-requests 40000] [-parallel 0]
+//	          [-channel-requests 150000]
 package main
 
 import (
@@ -94,21 +103,36 @@ type schedLeg struct {
 	AllocsPerStep float64 `json:"allocs_per_step"`
 }
 
+// chanLeg is one point of the channel-scaling matrix: a uniform-random S1
+// run on a machine with Channels DRAM channels, advanced by Workers channel
+// workers under a one-tREFI epoch barrier. Workers 0 is the serial loop at
+// the same epoch — the baseline each channel count's speedups divide by.
+type chanLeg struct {
+	Channels int     `json:"channels"`
+	Workers  int     `json:"channel_workers"`
+	Requests int64   `json:"requests_served"`
+	Seconds  float64 `json:"seconds"`
+	NsPerReq float64 `json:"ns_per_request"`
+	Speedup  float64 `json:"speedup_vs_serial"`
+}
+
 type report struct {
-	GOMAXPROCS    int            `json:"gomaxprocs"`
-	HotPath       hotPath        `json:"sim_run_s3"`
-	HotPathReused hotPath        `json:"sim_run_s3_reused"`
-	HotPathProbed hotPath        `json:"sim_run_s3_probed"`
-	BytesRatio    float64        `json:"fresh_over_reused_bytes"`
-	ProbeOverhead float64        `json:"probed_over_detached_ns"`
-	Scheduler     []schedLeg     `json:"scheduler_step"`
-	Figure7b      gridThroughput `json:"figure7b_grid"`
+	GOMAXPROCS     int            `json:"gomaxprocs"`
+	HotPath        hotPath        `json:"sim_run_s3"`
+	HotPathReused  hotPath        `json:"sim_run_s3_reused"`
+	HotPathProbed  hotPath        `json:"sim_run_s3_probed"`
+	BytesRatio     float64        `json:"fresh_over_reused_bytes"`
+	ProbeOverhead  float64        `json:"probed_over_detached_ns"`
+	Scheduler      []schedLeg     `json:"scheduler_step"`
+	Figure7b       gridThroughput `json:"figure7b_grid"`
+	ChannelScaling []chanLeg      `json:"channel_scaling"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_5.json", "output JSON file")
+	out := flag.String("out", "BENCH_6.json", "output JSON file")
 	requests := flag.Int64("requests", 40000, "demand requests per Figure 7(b) cell")
 	par := flag.Int("parallel", 0, "workers for the parallel grid leg (0 = all CPUs)")
+	chanRequests := flag.Int64("channel-requests", 150000, "demand requests per channel-scaling leg")
 	flag.Parse()
 
 	rep := report{GOMAXPROCS: runtime.GOMAXPROCS(0)}
@@ -168,6 +192,29 @@ func main() {
 		gt.ParallelSeconds, gt.ParCellsSec, gt.Speedup, gt.Workers)
 	if rep.GOMAXPROCS == 1 {
 		fmt.Println("  note: gomaxprocs is 1 — the speedup leg is degenerate on this host")
+	}
+
+	fmt.Println("perfbench: channel-parallel scaling (S1, one-tREFI epoch barrier)...")
+	for _, chs := range []int{1, 2, 4} {
+		var base float64
+		for _, cw := range []int{0, 1, 2, 4} {
+			leg, err := benchChannels(chs, cw, *chanRequests)
+			if err != nil {
+				fail(err)
+			}
+			if cw == 0 {
+				base = leg.Seconds
+			}
+			if leg.Seconds > 0 {
+				leg.Speedup = base / leg.Seconds
+			}
+			rep.ChannelScaling = append(rep.ChannelScaling, leg)
+			fmt.Printf("  %d ch × %d workers: %.2fs, %.1f ns/request (%.2fx vs serial)\n",
+				leg.Channels, leg.Workers, leg.Seconds, leg.NsPerReq, leg.Speedup)
+		}
+	}
+	if rep.GOMAXPROCS == 1 {
+		fmt.Println("  note: gomaxprocs is 1 — channel workers cannot overlap; speedups are degenerate")
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -379,6 +426,53 @@ func benchGrid(requests int64, workers int) (gridThroughput, error) {
 		gt.Speedup = serialDur.Seconds() / parDur.Seconds()
 	}
 	return gt, nil
+}
+
+// benchChannels times one channel-scaling point: an S1 run (uniform random
+// traffic, so every channel stays busy inside an epoch) under quick-scale
+// TWiCe on a machine with the given channel count and worker budget, epoch
+// barrier fixed at one tREFI. Four cores keep enough requests in flight to
+// load all channels. Wall-clock over one full run; the equivalence tests pin
+// that every (workers) choice serves the identical request stream, so
+// ns/request is directly comparable across the matrix.
+func benchChannels(channels, workers int, requests int64) (chanLeg, error) {
+	cfg := sim.DefaultConfig(4)
+	cfg.DRAM.Channels = channels
+	cfg.DRAM.TREFW = clock.Millisecond
+	cfg.DRAM.NTh = 2048
+	cfg.MC = mc.NewConfig(cfg.DRAM)
+	cfg.ChannelWorkers = workers
+	cfg.ChannelEpoch = cfg.DRAM.TREFI
+	amap, err := mc.NewAddrMap(cfg.DRAM)
+	if err != nil {
+		return chanLeg{}, err
+	}
+	ccfg := core.NewConfig(cfg.DRAM)
+	ccfg.ThRH = 512
+	tw, err := core.New(ccfg)
+	if err != nil {
+		return chanLeg{}, err
+	}
+	m, err := sim.NewMachine(cfg, tw, workload.S1(amap, cfg.DRAM, 11))
+	if err != nil {
+		return chanLeg{}, err
+	}
+	start := time.Now()
+	res, err := m.Run(sim.Limits{MaxRequests: requests, MaxTime: 10 * clock.Second})
+	if err != nil {
+		return chanLeg{}, err
+	}
+	dur := time.Since(start)
+	leg := chanLeg{
+		Channels: channels,
+		Workers:  workers,
+		Requests: res.Counters.RequestsServed,
+		Seconds:  dur.Seconds(),
+	}
+	if res.Counters.RequestsServed > 0 {
+		leg.NsPerReq = float64(dur.Nanoseconds()) / float64(res.Counters.RequestsServed)
+	}
+	return leg, nil
 }
 
 func fail(err error) {

@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -44,6 +45,8 @@ func main() {
 	requests := flag.Int64("requests", 150000, "demand requests per point")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	par := flag.Int("parallel", 0, "worker goroutines across sweep points (0 = all CPUs, 1 = serial)")
+	chanWorkers := flag.Int("channel-workers", 0, "goroutines across each point machine's DRAM channels (0/1 = serial; byte-identical results)")
+	chanEpoch := flag.Duration("channel-epoch", 0, "event-loop lookahead window per point, e.g. 7.8us (0 = classic loop; changes arrival quantization deterministically)")
 	progressFlag := flag.Bool("progress", false, "report completed/total sweep points and ETA on stderr")
 	telemetryDir := flag.String("telemetry", "", "directory to write per-point telemetry CSV/JSONL into")
 	flag.Parse()
@@ -53,9 +56,19 @@ func main() {
 
 	s := experiments.QuickScale()
 	s.Seed = *seed
+	s.ChannelWorkers = *chanWorkers
+	s.ChannelEpoch = clock.Time(chanEpoch.Nanoseconds()) * clock.Nanosecond
 	points := strings.Split(*values, ",")
 
 	pool := parallel.Runner{Workers: *par}
+	// Points and channel workers share the CPU budget: cap the per-point
+	// channel fan-out so points×workers never oversubscribes the host.
+	// (Capping never changes output — channel workers are byte-identical.)
+	if s.ChannelWorkers > 1 {
+		if budget := runtime.GOMAXPROCS(0) / pool.PoolSize(len(points)); s.ChannelWorkers > budget {
+			s.ChannelWorkers = budget
+		}
+	}
 	if *progressFlag {
 		p := probe.NewProgress(os.Stderr, "sweep", time.Now)
 		pool.OnDone = p.Update
@@ -127,6 +140,8 @@ func runPoint(param, raw string, s experiments.Scale, requests, seed int64, rec 
 	cfg.DRAM.TREFW = s.TREFW
 	cfg.DRAM.NTh = s.NTh
 	cfg.Seed = seed
+	cfg.ChannelWorkers = s.ChannelWorkers
+	cfg.ChannelEpoch = s.ChannelEpoch
 
 	var def defense.Defense
 	tableEntries := 0

@@ -51,6 +51,8 @@ func main() {
 	hammerRow := flag.Int("row", 5000, "aggressor/victim row for S3 and double-sided")
 	replay := flag.String("replay", "", "replay a recorded trace file instead of a named workload")
 	par := flag.Int("parallel", 0, "worker goroutines across -defense list entries (0 = all CPUs, 1 = serial)")
+	chanWorkers := flag.Int("channel-workers", 0, "goroutines across one machine's DRAM channels (0/1 = serial; byte-identical results)")
+	chanEpoch := flag.Duration("channel-epoch", 0, "event-loop lookahead window, e.g. 7.8us (0 = classic loop; changes arrival quantization deterministically)")
 	telemetryDir := flag.String("telemetry", "", "directory to write run telemetry CSV/JSONL into")
 	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -87,6 +89,8 @@ func main() {
 	cfg.DRAM.NTh = s.NTh
 	cfg.MC = mc.NewConfig(cfg.DRAM)
 	cfg.Seed = *seed
+	cfg.ChannelWorkers = *chanWorkers
+	cfg.ChannelEpoch = clock.Time(chanEpoch.Nanoseconds()) * clock.Nanosecond
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -135,6 +139,15 @@ func main() {
 	}
 
 	dnames := strings.Split(*dname, ",")
+	// Compose -parallel × -channel-workers: shrink the per-machine channel
+	// budget so the two axes together never oversubscribe the host. Worker
+	// counts cannot affect results, so the cap is purely an execution concern.
+	if cfg.ChannelWorkers > 1 {
+		pool := parallel.Runner{Workers: *par}
+		if budget := runtime.GOMAXPROCS(0) / pool.PoolSize(len(dnames)); cfg.ChannelWorkers > budget {
+			cfg.ChannelWorkers = budget
+		}
+	}
 	if col != nil {
 		col.Start(len(dnames))
 	}

@@ -14,17 +14,22 @@ import (
 	"repro/internal/dram"
 )
 
-// PARA is a probabilistic row-hammer mitigation.
+// PARA is a probabilistic row-hammer mitigation. Its RNG and refresh counter
+// are sharded per flat bank so that concurrent OnActivate calls for banks of
+// different channels (channel-parallel Advance) never share state — which is
+// also what makes its random stream independent of channel interleaving.
 type PARA struct {
-	name        string     //twicelint:keep display name, fixed at construction
-	p           float64    //twicelint:keep refresh probability, fixed at construction
-	rowsPerBank int        //twicelint:keep geometry, fixed at construction
-	radius      int        //twicelint:keep blast radius, fixed at construction
-	rng         *rand.Rand //twicelint:keep stream continuity is deliberate; grids build a fresh PARA per cell
-	refreshes   int64      //twicelint:keep lifetime aggregate; PARA is stateless per-epoch
+	name        string       //twicelint:keep display name, fixed at construction
+	p           float64      //twicelint:keep refresh probability, fixed at construction
+	rowsPerBank int          //twicelint:keep geometry, fixed at construction
+	radius      int          //twicelint:keep blast radius, fixed at construction
+	params      dram.Params  //twicelint:keep geometry, fixed at construction
+	rngs        []*rand.Rand //twicelint:keep per-bank stream continuity is deliberate; grids build a fresh PARA per cell
+	refreshes   []int64      //twicelint:keep lifetime aggregate; PARA is stateless per-epoch
 }
 
 var _ defense.Defense = (*PARA)(nil)
+var _ defense.ChannelSharded = (*PARA)(nil)
 
 // New builds a PARA instance with refresh probability p. The paper's
 // configurations are p = 0.001 and p = 0.002. The seed makes runs
@@ -34,26 +39,39 @@ func New(p float64, dp dram.Params, seed int64) (*PARA, error) {
 	if p <= 0 || p >= 1 {
 		return nil, fmt.Errorf("para: probability %v outside (0,1)", p)
 	}
-	return &PARA{
+	pa := &PARA{
 		name:        fmt.Sprintf("PARA-%g", p),
 		p:           p,
 		rowsPerBank: dp.RowsPerBank,
 		radius:      dp.BlastRadius,
-		rng:         rand.New(rand.NewSource(seed)),
-	}, nil
+		params:      dp,
+		rngs:        make([]*rand.Rand, dp.TotalBanks()),
+		refreshes:   make([]int64, dp.TotalBanks()),
+	}
+	// One deterministic stream per bank (golden-ratio stride decorrelates
+	// neighbouring banks); the observed sequence then depends only on each
+	// bank's own ACT stream, not on cross-channel event interleaving.
+	for i := range pa.rngs {
+		pa.rngs[i] = rand.New(rand.NewSource(seed + int64(i+1)*0x9E3779B9))
+	}
+	return pa, nil
 }
 
 // Name implements defense.Defense.
 func (pa *PARA) Name() string { return pa.name }
 
 // OnActivate implements defense.Defense: with probability p, refresh one
-// randomly chosen neighbour within the blast radius.
-func (pa *PARA) OnActivate(_ dram.BankID, row int, _ clock.Time) defense.Action {
-	if pa.rng.Float64() >= pa.p {
+// randomly chosen neighbour within the blast radius. Only the activated
+// bank's shard is touched, so calls for banks of different channels are safe
+// to run concurrently.
+func (pa *PARA) OnActivate(bank dram.BankID, row int, _ clock.Time) defense.Action {
+	i := bank.Flat(&pa.params)
+	rng := pa.rngs[i]
+	if rng.Float64() >= pa.p {
 		return defense.Action{}
 	}
 	// Choose a side and distance uniformly among the 2·radius neighbours.
-	d := pa.rng.Intn(2*pa.radius) - pa.radius
+	d := rng.Intn(2*pa.radius) - pa.radius
 	if d >= 0 {
 		d++
 	}
@@ -64,7 +82,7 @@ func (pa *PARA) OnActivate(_ dram.BankID, row int, _ clock.Time) defense.Action 
 			return defense.Action{}
 		}
 	}
-	pa.refreshes++
+	pa.refreshes[i]++
 	return defense.Action{LogicalVictims: []int{victim}}
 }
 
@@ -74,5 +92,15 @@ func (pa *PARA) OnRefreshTick(dram.BankID, clock.Time) {}
 // Reset implements defense.Defense (PARA is stateless).
 func (pa *PARA) Reset() {}
 
-// Refreshes returns the number of victim refreshes issued.
-func (pa *PARA) Refreshes() int64 { return pa.refreshes }
+// ChannelSafe implements defense.ChannelSharded: the RNGs and counters are
+// per-bank, so cross-channel concurrency never shares state.
+func (pa *PARA) ChannelSafe() bool { return true }
+
+// Refreshes returns the number of victim refreshes issued across all banks.
+func (pa *PARA) Refreshes() int64 {
+	var n int64
+	for _, v := range pa.refreshes {
+		n += v
+	}
+	return n
+}

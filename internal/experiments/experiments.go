@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
 	"repro/internal/analysis"
@@ -57,6 +58,17 @@ type Scale struct {
 	// series are byte-identical across serial and parallel runs. Each call
 	// to a grid experiment restarts the collector.
 	Telemetry *probe.Collector
+	// ChannelWorkers is the intra-machine parallelism budget per cell (see
+	// sim.Config.ChannelWorkers): channels of one machine run on this many
+	// goroutines with byte-identical results. Grid runs cap the effective
+	// value so pool-workers × channel-workers never exceeds GOMAXPROCS —
+	// safe, because the worker count cannot affect results.
+	ChannelWorkers int
+	// ChannelEpoch is the per-cell event-loop lookahead window (see
+	// sim.Config.ChannelEpoch). It changes the simulated arrival
+	// quantization deterministically, so unlike ChannelWorkers it is part of
+	// the experiment's identity; 0 keeps the classic loop.
+	ChannelEpoch clock.Time
 }
 
 // PaperScale reproduces the paper's parameters exactly (Table 2): thRH =
@@ -108,6 +120,8 @@ func (s Scale) machineConfig() sim.Config {
 	cfg.DRAM.NTh = s.NTh
 	cfg.MC = mc.NewConfig(cfg.DRAM)
 	cfg.Seed = s.Seed
+	cfg.ChannelWorkers = s.ChannelWorkers
+	cfg.ChannelEpoch = s.ChannelEpoch
 	return cfg
 }
 
@@ -237,6 +251,15 @@ func (s Scale) runGrid(jobs []cellJob) ([]Cell, error) {
 	pool := parallel.Runner{Workers: s.Parallel, OnDone: s.Progress}
 	runners := make([]*sim.CellRunner, pool.PoolSize(len(jobs)))
 	cfg := s.machineConfig()
+	// Compose the two parallelism axes: cells × channel-workers must not
+	// oversubscribe the host, so the per-cell budget shrinks as the pool
+	// grows. Worker counts never affect results (the equivalence tests pin
+	// byte-identity), so capping here is purely an execution concern.
+	if cfg.ChannelWorkers > 1 {
+		if budget := runtime.GOMAXPROCS(0) / len(runners); cfg.ChannelWorkers > budget {
+			cfg.ChannelWorkers = budget
+		}
+	}
 	if s.Telemetry != nil {
 		s.Telemetry.Start(len(jobs))
 	}

@@ -78,3 +78,30 @@ func escaping(m *machine, n int) func() {
 		m.probes.Flush() // want probeguard "not dominated by a nil guard"
 	}
 }
+
+// worker goroutines follow the same closure rule: a recorder call inside a
+// spawned closure must be dominated by a nil guard, either inside the
+// closure body or at the spawn site (the channel-parallel workers in
+// internal/mc guard at the spawn site).
+func (m *machine) workerUnguarded(n int) {
+	go func() {
+		m.probes.Event(n) // want probeguard "not dominated by a nil guard"
+	}()
+}
+
+func (m *machine) workerGuardedInside(n int) {
+	go func() {
+		if m.probes != nil {
+			m.probes.Event(n)
+		}
+	}()
+}
+
+func (m *machine) workerGuardedAtSpawn(n int) {
+	if m.probes == nil {
+		return
+	}
+	go func() {
+		m.probes.Event(n)
+	}()
+}

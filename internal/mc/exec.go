@@ -40,7 +40,14 @@ func (ch *channel) exec(c candidate) {
 			ev.Req = c.req.ID
 			ev.Write = c.req.Write
 		}
-		tr(ev)
+		if ch.buffered {
+			// Parallel phase: the callback runs at the serial apply point,
+			// in the same order the serial loop would have invoked it.
+			//twicelint:allocok trace buffering is a test-harness path; storage reused via [:0]
+			ch.traceBuf = append(ch.traceBuf, ev)
+		} else {
+			tr(ev)
+		}
 	}
 	switch c.op {
 	case opPRE:
@@ -69,7 +76,7 @@ func (ch *channel) doPRE(rk, ba int, t clock.Time) {
 	b.open = -1
 	b.hits = 0
 	ch.onRowClose(i)
-	s.cnt.Precharges++
+	ch.cnt.Precharges++
 }
 
 func (ch *channel) doREF(rk int, t clock.Time) {
@@ -81,9 +88,9 @@ func (ch *channel) doREF(rk int, t clock.Time) {
 		must(s.dev.Bank(ch.bankID(rk, ba)).AutoRefresh(t))
 	}
 	s.rcd.ObserveRefresh(rankID, t)
-	s.cnt.Refreshes++
+	ch.cnt.Refreshes++
 	if s.probes != nil {
-		s.probes.Refresh(t)
+		s.probes.Refresh(ch.idx, t)
 	}
 	ch.refreshDue[rk] += s.cfg.DRAM.TREFI
 }
@@ -100,8 +107,8 @@ func (ch *channel) doARR(rk, ba int, t clock.Time) {
 	ch.bumpRank(rk)
 	n, err := s.dev.Bank(id).AdjacentRowRefresh(row, t)
 	must(err)
-	s.cnt.ARRs++
-	s.cnt.DefenseACTs += int64(n)
+	ch.cnt.ARRs++
+	ch.cnt.DefenseACTs += int64(n)
 	if s.probes != nil {
 		s.probes.ARR(id.Flat(&s.cfg.DRAM), t)
 	}
@@ -127,7 +134,7 @@ func (ch *channel) doMit(rk, ba int, t clock.Time) {
 		must(bank.Activate(op.row, t))
 		bank.Precharge()
 	}
-	s.cnt.DefenseACTs++
+	ch.cnt.DefenseACTs++
 }
 
 func (ch *channel) doACT(q *Request, t clock.Time) {
@@ -142,7 +149,7 @@ func (ch *channel) doACT(q *Request, t clock.Time) {
 	b.hits = 0
 	ch.onRowOpen(i, q.Addr.Row)
 	q.neededACT = true
-	s.cnt.NormalACTs++
+	ch.cnt.NormalACTs++
 	if s.probes != nil {
 		s.probes.ACT(id.Flat(&s.cfg.DRAM), t)
 	}
@@ -166,8 +173,15 @@ func (ch *channel) applyAction(id dram.BankID, core int, a defense.Action) {
 		b.mit = append(b.mit, mitOp{deviceRefresh: false})
 	}
 	if a.Detected {
-		s.cnt.Detections++
-		s.detectionsByCore[core]++
+		ch.cnt.Detections++
+		if ch.buffered {
+			// detectionsByCore is a shared map; attribution replays at the
+			// serial apply phase.
+			//twicelint:allocok detection is a rare event; backing array reused via [:0]
+			ch.detBuf = append(ch.detBuf, core)
+		} else {
+			s.detectionsByCore[core]++
+		}
 	}
 }
 
@@ -178,21 +192,21 @@ func (ch *channel) doColumn(q *Request, t clock.Time) {
 	var err error
 	if q.Write {
 		done, err = s.chk.RecordWrite(id, t)
-		s.cnt.Writes++
+		ch.cnt.Writes++
 	} else {
 		done, err = s.chk.RecordRead(id, t)
-		s.cnt.Reads++
+		ch.cnt.Reads++
 	}
 	must(err)
 	i := ch.flat(q.Addr.Rank, q.Addr.Bank)
 	ch.bumpBank(i)
 	switch {
 	case !q.neededACT:
-		s.cnt.RowHits++
+		ch.cnt.RowHits++
 	case q.neededPRE:
-		s.cnt.RowConflicts++
+		ch.cnt.RowConflicts++
 	default:
-		s.cnt.RowMisses++
+		ch.cnt.RowMisses++
 	}
 	ch.unindex(q) // while the row is still open: the hit counter must see it
 	ch.removeRequest(q)
@@ -208,15 +222,25 @@ func (ch *channel) doColumn(q *Request, t clock.Time) {
 		b.open = -1
 		b.hits = 0
 		ch.onRowClose(i)
-		s.cnt.Precharges++
+		ch.cnt.Precharges++
 	}
 	completion := done
 	if q.Write {
 		completion = t // posted write: the issuer does not wait
 	}
-	s.cnt.AddLatency(completion - q.Arrival)
+	ch.cnt.AddLatency(completion - q.Arrival)
 	if s.probes != nil {
-		s.probes.Dequeue(len(ch.queue)+len(ch.wqueue), completion-q.Arrival)
+		s.probes.Dequeue(ch.idx, len(ch.queue)+len(ch.wqueue), completion-q.Arrival)
+	}
+	if ch.buffered {
+		// Parallel phase: Done feeds cpu.Core state and release hands the
+		// request back to the submitter's pool — both shared across
+		// channels, so they replay at the serial apply phase.
+		if q.Done != nil || s.release != nil {
+			//twicelint:allocok completion buffering is the parallel phase; storage reused via [:0]
+			ch.compBuf = append(ch.compBuf, pendingDone{req: q, t: completion})
+		}
+		return
 	}
 	if q.Done != nil {
 		q.Done(completion)
@@ -231,10 +255,10 @@ func (ch *channel) countNack(q *Request, id dram.BankID, now clock.Time) {
 	blocked := ch.sys.chk.RankBlockedUntil(id.RankID())
 	if blocked > now && q.nackWindow != blocked {
 		q.nackWindow = blocked
-		ch.sys.rcd.Nack()
-		ch.sys.cnt.Nacks++
+		ch.sys.rcd.Nack(ch.idx)
+		ch.cnt.Nacks++
 		if ch.sys.probes != nil {
-			ch.sys.probes.Nack(now)
+			ch.sys.probes.Nack(ch.idx, now)
 		}
 	}
 }

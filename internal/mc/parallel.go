@@ -1,0 +1,161 @@
+// Deterministic channel-parallel Advance (DESIGN.md §14). DRAM channels
+// share no timing, bank, queue, or scheduler state after the PR-7 split, so
+// one Advance can step eligible channels on concurrent workers — provided
+// every cross-channel side effect (the shared stats.Counters, completion
+// callbacks into cpu.Core, per-core detection attribution, trace callbacks,
+// and probe telemetry) is buffered per channel during the parallel phase and
+// replayed serially afterward in (channel, capture-order) order. That replay
+// order is exactly the order the serial Advance produces, because the serial
+// loop steps channels to the horizon one at a time in channel-index order;
+// hence byte-identical results, counters, and telemetry for any worker
+// count. Defenses opt in via defense.ChannelSharded (rcd.RCD.ChannelSafe);
+// everything else falls back to the serial loop.
+package mc
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/clock"
+	"repro/internal/stats"
+)
+
+// SetChannelWorkers sets the worker budget for channel-parallel Advance.
+// n <= 1 selects the serial fast path (the default). The setting is
+// configuration and survives Reset.
+func (s *System) SetChannelWorkers(n int) { s.workers = n }
+
+// ChannelWorkers returns the configured worker budget.
+func (s *System) ChannelWorkers() int { return s.workers }
+
+// advanceTo steps this channel until its wake time passes t, stepping each
+// event at its own due time, and returns the number of scheduler steps
+// executed. At t == wake (the classic event-loop call, where t is the global
+// minimum event time) this is exactly the legacy per-channel step loop; with
+// a lookahead horizon t > wake it carries the channel through the whole
+// epoch, which is safe precisely because no other channel's state can
+// influence this channel's command stream.
+//
+//twicelint:hotpath per-channel event-loop core, shared by the serial and worker paths
+func (ch *channel) advanceTo(t clock.Time) int64 {
+	steps := int64(0)
+	for ch.wake <= t {
+		ch.wake = ch.step(ch.wake)
+		steps++
+	}
+	return steps
+}
+
+// advanceParallel runs one Advance with the worker pool. It returns false —
+// having changed nothing — when fewer than two channels are eligible, in
+// which case the caller's serial loop handles the call faster than a
+// barrier would.
+func (s *System) advanceParallel(now clock.Time) bool {
+	elig := s.parScratch[:0]
+	for _, ch := range s.chans {
+		if ch.wake <= now {
+			//twicelint:allocok reused eligibility scratch; growth amortizes to zero
+			elig = append(elig, ch)
+		}
+	}
+	s.parScratch = elig
+	if len(elig) < 2 {
+		return false
+	}
+
+	if s.probes != nil {
+		s.probes.BeginChannelCapture(len(s.chans))
+	}
+	for _, ch := range elig {
+		ch.beginParallel()
+	}
+
+	// Spawn up to `workers` goroutines pulling channel indexes from a shared
+	// counter. A panic inside a worker (must() on a protocol violation) kills
+	// the process, which is the same contract the serial loop has: a timing
+	// violation is a scheduler bug, never recoverable state.
+	workers := s.workers
+	if workers > len(elig) {
+		workers = len(elig)
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		//twicelint:allocok parallel phase only; the serial fast path never reaches this
+		go func() {
+			//twicelint:allocok parallel phase only; one deferred frame per worker per barrier
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(elig) {
+					return
+				}
+				ch := elig[i]
+				ch.stepsBuf = ch.advanceTo(now)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Serial apply phase: elig preserves s.chans order, so replaying each
+	// channel's buffers in slice order reproduces the serial side-effect
+	// order exactly.
+	for _, ch := range elig {
+		ch.endParallel()
+	}
+	if s.probes != nil {
+		s.probes.EndChannelCapture()
+	}
+
+	next := clock.Never
+	for _, ch := range s.chans {
+		next = clock.Min(next, ch.wake)
+	}
+	s.nextWake = next
+	return true
+}
+
+// beginParallel reroutes the channel's side effects into private buffers for
+// the duration of one parallel phase.
+func (ch *channel) beginParallel() {
+	ch.shard = stats.Counters{}
+	ch.cnt = &ch.shard
+	ch.buffered = true
+	ch.stepsBuf = 0
+}
+
+// endParallel merges the channel's buffered effects into the shared state,
+// in the order they were produced. Counters merge commutatively (Merge sums
+// every field and takes the max of MaxLatency), so the merge order cannot
+// change the result; the ordered replays below are the ones an observer
+// could distinguish.
+func (ch *channel) endParallel() {
+	s := ch.sys
+	s.steps += ch.stepsBuf
+	ch.stepsBuf = 0
+	s.cnt.Merge(ch.shard)
+	for _, core := range ch.detBuf {
+		s.detectionsByCore[core]++
+	}
+	ch.detBuf = ch.detBuf[:0]
+	if tr := s.trace; tr != nil {
+		for i := range ch.traceBuf {
+			tr(ch.traceBuf[i])
+		}
+	}
+	ch.traceBuf = ch.traceBuf[:0]
+	for i := range ch.compBuf {
+		pd := &ch.compBuf[i]
+		if pd.req.Done != nil {
+			pd.req.Done(pd.t)
+		}
+		if s.release != nil {
+			s.release(pd.req) // the request must not be touched past this point
+		}
+		pd.req = nil
+	}
+	ch.compBuf = ch.compBuf[:0]
+	ch.cnt = s.cnt
+	ch.buffered = false
+}

@@ -14,6 +14,7 @@ package mc
 import (
 	"repro/internal/clock"
 	"repro/internal/dram"
+	"repro/internal/stats"
 )
 
 // mitOp is one unit of defense-mandated work on a bank: refreshing a victim
@@ -91,6 +92,28 @@ type channel struct {
 	batchSlot  map[batchSlot]int // marked requests per (core, rank, bank)
 	batchLoad  map[int]int       // marked requests per core
 	batchCores []int             // cores sorted by marked load
+
+	// Channel-parallel buffering (parallel.go). cnt aliases sys.cnt during
+	// serial operation — every counter write in exec.go goes through it at
+	// zero extra cost — and points at the private shard while the channel
+	// runs on a worker goroutine. The remaining buffers defer the
+	// cross-channel side effects (completion callbacks, trace events,
+	// per-core detection attribution) until the serial apply phase that
+	// follows the barrier, replayed in (channel, capture-order) order.
+	cnt      *stats.Counters
+	buffered bool
+	shard    stats.Counters
+	stepsBuf int64
+	detBuf   []int        // cores whose ACTs triggered detections
+	traceBuf []TraceEvent // deferred SetTrace callbacks
+	compBuf  []pendingDone
+}
+
+// pendingDone is one deferred completion: the request whose Done callback
+// (and release-hook handoff) runs at the serial apply phase.
+type pendingDone struct {
+	req *Request
+	t   clock.Time
 }
 
 // batchSlot keys the PAR-BS per-(core, bank) marking cap.

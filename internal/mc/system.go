@@ -121,6 +121,12 @@ type System struct {
 	// check at each hook site is the entire no-sink cost (see internal/probe).
 	//twicelint:keep attachment is machine-owned; Reset must not detach it
 	probes *probe.Recorder
+	// workers is the channel-parallel worker budget for Advance (parallel.go);
+	// ≤1 keeps the serial fast path.
+	//twicelint:keep configuration, set via SetChannelWorkers; survives Reset
+	workers int
+	// parScratch is the reusable eligible-channel list for advanceParallel.
+	parScratch []*channel
 }
 
 // New wires a controller over the given device and RCD. The counters object
@@ -160,6 +166,7 @@ func New(cfg Config, dev *dram.Device, r *rcd.RCD, cnt *stats.Counters) (*System
 		for b := range ch.banks {
 			ch.banks[b].open = -1
 		}
+		ch.cnt = cnt
 		for rk := range ch.refreshDue {
 			// Stagger rank refreshes across the interval so all ranks never
 			// refresh simultaneously.
@@ -239,6 +246,19 @@ func (s *System) Reset() {
 		clear(ch.batchLoad)
 		ch.batchCores = ch.batchCores[:0]
 		ch.resetIndexes()
+		// Restore serial counter routing in case a run was interrupted
+		// mid-parallel-phase; the buffers are already drained on the normal
+		// path, so clearing them here is belt-and-braces.
+		ch.cnt = s.cnt
+		ch.buffered = false
+		ch.shard = stats.Counters{}
+		ch.stepsBuf = 0
+		ch.detBuf = ch.detBuf[:0]
+		ch.traceBuf = ch.traceBuf[:0]
+		for i := range ch.compBuf {
+			ch.compBuf[i].req = nil
+		}
+		ch.compBuf = ch.compBuf[:0]
 		// Re-derive the attention set from the RCD in case the caller resets
 		// it after the controller (the machine owns the order); a bank with
 		// leftover pending ARRs must stay in the set.
@@ -250,6 +270,7 @@ func (s *System) Reset() {
 	}
 	s.ids = 0
 	s.steps = 0
+	s.parScratch = s.parScratch[:0]
 	clear(s.detectionsByCore)
 	s.nextWake = clock.Never
 	for _, ch := range s.chans {
@@ -366,22 +387,22 @@ func (s *System) NextEvent() clock.Time {
 
 // Advance drives every channel up to and including time now, refreshing the
 // cached next-event time in the same pass. Channels whose wake time lies in
-// the future are skipped without entering their step loop.
+// the future are skipped without entering their step loop. With a worker
+// budget (SetChannelWorkers) and a channel-safe defense, eligible channels
+// run concurrently (parallel.go) with byte-identical results.
 //
 //twicelint:hotpath the event-loop core; every simulated tick funnels through it
 func (s *System) Advance(now clock.Time) {
+	if s.workers > 1 && len(s.chans) > 1 && s.rcd.ChannelSafe() && s.advanceParallel(now) {
+		return
+	}
 	next := clock.Never
 	for _, ch := range s.chans {
 		if ch.wake > now {
 			next = clock.Min(next, ch.wake)
 			continue
 		}
-		steps := int64(0)
-		for ch.wake <= now {
-			ch.wake = ch.step(now)
-			steps++
-		}
-		s.steps += steps
+		s.steps += ch.advanceTo(now)
 		next = clock.Min(next, ch.wake)
 	}
 	s.nextWake = next

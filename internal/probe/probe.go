@@ -102,7 +102,35 @@ type Recorder struct {
 	nextSample clock.Time
 
 	dropped int64
+
+	// Channel-capture mode (channel-parallel Advance): while capOn, the
+	// per-channel hot hooks append raw events to capture[channel] instead of
+	// touching shared state; EndChannelCapture replays them serially in
+	// channel order, reproducing the serial-run event order exactly.
+	capture         [][]capEvent
+	capOn           bool
+	banksPerChannel int
 }
+
+// capEvent is one deferred hook invocation recorded during channel capture.
+// kind selects the hook; a and b carry its scalar arguments.
+type capEvent struct {
+	kind int8
+	bank int32
+	a, b int64
+	t    clock.Time
+}
+
+const (
+	capACT int8 = iota
+	capARR
+	capARRQueued
+	capNack
+	capDequeue
+	capSpill
+	capTableTick
+	capRefresh
+)
 
 // latencyBounds doubles from 50 ns: DRAM hits land in the first buckets,
 // refresh- and drain-delayed requests spread across the tail, and anything
@@ -204,6 +232,15 @@ func (r *Recorder) AddGauge(name string, fn func() int64) {
 
 // ACT records one demand row activation.
 func (r *Recorder) ACT(bank int, now clock.Time) {
+	if r.capOn {
+		//twicelint:allocok capture buffers reused across epochs; growth amortizes
+		r.capture[r.chanOf(bank)] = append(r.capture[r.chanOf(bank)], capEvent{kind: capACT, bank: int32(bank), t: now}) //twicelint:checked flat bank index, bounded by TotalBanks
+		return
+	}
+	r.applyACT(bank, now)
+}
+
+func (r *Recorder) applyACT(bank int, now clock.Time) {
 	r.totals.ACTs++
 	_ = bank
 	_ = now
@@ -212,6 +249,15 @@ func (r *Recorder) ACT(bank int, now clock.Time) {
 // ARR records one executed adjacent-row refresh and the simulated-time
 // distance to the bank's previous ARR.
 func (r *Recorder) ARR(bank int, now clock.Time) {
+	if r.capOn {
+		//twicelint:allocok capture buffers reused across epochs; growth amortizes
+		r.capture[r.chanOf(bank)] = append(r.capture[r.chanOf(bank)], capEvent{kind: capARR, bank: int32(bank), t: now}) //twicelint:checked flat bank index, bounded by TotalBanks
+		return
+	}
+	r.applyARR(bank, now)
+}
+
+func (r *Recorder) applyARR(bank int, now clock.Time) {
 	r.totals.ARRs++
 	if bank < len(r.lastARR) {
 		if last := r.lastARR[bank]; last != clock.Never {
@@ -223,12 +269,30 @@ func (r *Recorder) ARR(bank int, now clock.Time) {
 
 // ARRQueued records one aggressor filed as pending ARR work at the RCD.
 func (r *Recorder) ARRQueued(bank, pending int, now clock.Time) {
+	if r.capOn {
+		//twicelint:allocok capture buffers reused across epochs; growth amortizes
+		r.capture[r.chanOf(bank)] = append(r.capture[r.chanOf(bank)], capEvent{kind: capARRQueued, bank: int32(bank), a: int64(pending), t: now}) //twicelint:checked flat bank index, bounded by TotalBanks
+		return
+	}
+	r.applyARRQueued(bank, pending, now)
+}
+
+func (r *Recorder) applyARRQueued(bank, pending int, now clock.Time) {
 	r.totals.ARRsQueued++
 	_, _, _ = bank, pending, now
 }
 
-// Nack records one nacked controller command.
-func (r *Recorder) Nack(now clock.Time) {
+// Nack records one nacked controller command on the given channel.
+func (r *Recorder) Nack(channel int, now clock.Time) {
+	if r.capOn {
+		//twicelint:allocok capture buffers reused across epochs; growth amortizes
+		r.capture[channel] = append(r.capture[channel], capEvent{kind: capNack, t: now})
+		return
+	}
+	r.applyNack(now)
+}
+
+func (r *Recorder) applyNack(now clock.Time) {
 	r.totals.Nacks++
 	_ = now
 }
@@ -249,9 +313,18 @@ func (r *Recorder) BankDepth(depth int, now clock.Time) {
 	_ = now
 }
 
-// Dequeue records a completed request: its service latency and the channel's
-// remaining queue occupancy.
-func (r *Recorder) Dequeue(depth int, latency clock.Time) {
+// Dequeue records a completed request on the given channel: its service
+// latency and the channel's remaining queue occupancy.
+func (r *Recorder) Dequeue(channel, depth int, latency clock.Time) {
+	if r.capOn {
+		//twicelint:allocok capture buffers reused across epochs; growth amortizes
+		r.capture[channel] = append(r.capture[channel], capEvent{kind: capDequeue, a: int64(depth), b: int64(latency)})
+		return
+	}
+	r.applyDequeue(depth, latency)
+}
+
+func (r *Recorder) applyDequeue(depth int, latency clock.Time) {
 	r.totals.Dequeues++
 	r.depth.Observe(int64(depth))
 	r.latency.Observe(int64(latency))
@@ -260,6 +333,15 @@ func (r *Recorder) Dequeue(depth int, latency clock.Time) {
 // Spill records one table insert that landed outside its preferred location
 // (pa-TWiCe set borrowing, separated-table wide spill).
 func (r *Recorder) Spill(bank int, now clock.Time) {
+	if r.capOn {
+		//twicelint:allocok capture buffers reused across epochs; growth amortizes
+		r.capture[r.chanOf(bank)] = append(r.capture[r.chanOf(bank)], capEvent{kind: capSpill, bank: int32(bank), t: now}) //twicelint:checked flat bank index, bounded by TotalBanks
+		return
+	}
+	r.applySpill(bank, now)
+}
+
+func (r *Recorder) applySpill(bank int, now clock.Time) {
 	r.totals.Spills++
 	_, _ = bank, now
 }
@@ -268,6 +350,15 @@ func (r *Recorder) Spill(bank int, now clock.Time) {
 // occupancy and the number of entries invalidated. The per-(bank, PI) series
 // it appends to is the Figure 5 trajectory.
 func (r *Recorder) TableTick(bank, occupancy, pruned int, now clock.Time) {
+	if r.capOn {
+		//twicelint:allocok capture buffers reused across epochs; growth amortizes
+		r.capture[r.chanOf(bank)] = append(r.capture[r.chanOf(bank)], capEvent{kind: capTableTick, bank: int32(bank), a: int64(occupancy), b: int64(pruned), t: now}) //twicelint:checked flat bank index, bounded by TotalBanks
+		return
+	}
+	r.applyTableTick(bank, occupancy, pruned, now)
+}
+
+func (r *Recorder) applyTableTick(bank, occupancy, pruned int, now clock.Time) {
 	r.totals.TableTicks++
 	r.totals.EntriesPruned += int64(pruned)
 	if occupancy > r.maxOcc {
@@ -277,16 +368,35 @@ func (r *Recorder) TableTick(bank, occupancy, pruned int, now clock.Time) {
 		r.dropped++
 		return
 	}
+	//twicelint:allocok one sample per prune pass, bounded by MaxSamples; growth amortizes
 	r.occ = append(r.occ, OccSample{T: now, Bank: bank, Occupancy: occupancy, Pruned: pruned})
 }
 
-// Refresh records one per-rank auto-refresh command and drives the periodic
-// gauge samplers: when simulated time has crossed the sampling boundary,
-// every registered gauge is read once. Keying the schedule to refresh events
-// (which every run has, at deterministic times) keeps sampling byte-identical
-// across serial, parallel, and recycled-machine runs.
-func (r *Recorder) Refresh(now clock.Time) {
+// Refresh records one per-rank auto-refresh command on the given channel.
+// Gauge sampling is NOT driven here (it was pre-PR-8): the machine calls
+// MaybeSample from its run loop instead, so gauges always read fully merged
+// post-barrier state regardless of channel parallelism.
+func (r *Recorder) Refresh(channel int, now clock.Time) {
+	if r.capOn {
+		//twicelint:allocok capture buffers reused across epochs; growth amortizes
+		r.capture[channel] = append(r.capture[channel], capEvent{kind: capRefresh, t: now})
+		return
+	}
+	r.applyRefresh(now)
+}
+
+func (r *Recorder) applyRefresh(now clock.Time) {
 	r.totals.Refreshes++
+	_ = now
+}
+
+// MaybeSample drives the periodic gauge samplers: when simulated time has
+// crossed the sampling boundary, every registered gauge is read once. The
+// machine calls it from the run loop after each fully applied event-loop
+// iteration, so the gauges observe merged, deterministic state at
+// deterministic simulated times — byte-identical across serial, parallel,
+// channel-parallel, and recycled-machine runs.
+func (r *Recorder) MaybeSample(now clock.Time) {
 	if now < r.nextSample {
 		return
 	}
@@ -308,6 +418,76 @@ func (r *Recorder) Refresh(now clock.Time) {
 		}
 	} else {
 		r.nextSample = now + 1
+	}
+}
+
+// chanOf maps a flat bank index to its channel (the flat layout is
+// channel-major). Only meaningful while capture is on; BeginChannelCapture
+// guarantees banksPerChannel >= 1.
+func (r *Recorder) chanOf(bank int) int {
+	ch := bank / r.banksPerChannel
+	if ch >= len(r.capture) {
+		ch = len(r.capture) - 1
+	}
+	return ch
+}
+
+// ---- channel-capture mode ----
+
+// BeginChannelCapture switches the per-channel hot hooks (ACT, ARR,
+// ARRQueued, Nack, Dequeue, Spill, TableTick, Refresh) into capture mode for
+// one parallel Advance: each hook appends its event to the calling channel's
+// private buffer instead of mutating shared recorder state. Each channel's
+// worker goroutine must only emit events for its own channel (banks route by
+// the channel-major flat layout), which makes capture race-free without
+// locks. Enqueue, BankDepth, and MaybeSample are machine-phase hooks and stay
+// direct.
+func (r *Recorder) BeginChannelCapture(channels int) {
+	if channels <= 0 {
+		channels = 1
+	}
+	for len(r.capture) < channels {
+		//twicelint:allocok one nil slot per channel, grown once at first capture
+		r.capture = append(r.capture, nil)
+	}
+	bpc := r.cfg.Banks / channels
+	if bpc <= 0 {
+		bpc = 1
+	}
+	r.banksPerChannel = bpc
+	r.capOn = true
+}
+
+// EndChannelCapture leaves capture mode and replays the buffered events
+// serially in (channel, capture-order) order — exactly the order a serial
+// epoch produces, since the serial Advance steps channels to the horizon one
+// at a time in channel-index order.
+func (r *Recorder) EndChannelCapture() {
+	r.capOn = false
+	for ch := range r.capture {
+		evs := r.capture[ch]
+		for i := range evs {
+			e := &evs[i]
+			switch e.kind {
+			case capACT:
+				r.applyACT(int(e.bank), e.t)
+			case capARR:
+				r.applyARR(int(e.bank), e.t)
+			case capARRQueued:
+				r.applyARRQueued(int(e.bank), int(e.a), e.t)
+			case capNack:
+				r.applyNack(e.t)
+			case capDequeue:
+				r.applyDequeue(int(e.a), clock.Time(e.b))
+			case capSpill:
+				r.applySpill(int(e.bank), e.t)
+			case capTableTick:
+				r.applyTableTick(int(e.bank), int(e.a), int(e.b), e.t)
+			case capRefresh:
+				r.applyRefresh(e.t)
+			}
+		}
+		r.capture[ch] = evs[:0]
 	}
 }
 
@@ -346,6 +526,11 @@ func (r *Recorder) Reset() {
 	}
 	r.nextSample = 0
 	r.dropped = 0
+	for i := range r.capture {
+		r.capture[i] = r.capture[i][:0]
+	}
+	r.capOn = false
+	r.banksPerChannel = 0
 }
 
 // Instrumented is implemented by components that accept a probe recorder

@@ -13,12 +13,12 @@ func TestRecorderTotals(t *testing.T) {
 	r.ACT(1, 20)
 	r.ARR(0, 30)
 	r.ARRQueued(0, 1, 25)
-	r.Nack(40)
+	r.Nack(0, 40)
 	r.Enqueue(3, 50)
-	r.Dequeue(2, 400)
+	r.Dequeue(0, 2, 400)
 	r.Spill(1, 60)
 	r.TableTick(0, 5, 2, 70)
-	r.Refresh(80)
+	r.Refresh(0, 80)
 
 	want := EventTotals{
 		ACTs: 2, ARRs: 1, ARRsQueued: 1, Nacks: 1, Refreshes: 1,
@@ -73,21 +73,21 @@ func TestTableTickSampleCap(t *testing.T) {
 	}
 }
 
-func TestRefreshGaugeSampling(t *testing.T) {
+func TestGaugeSampling(t *testing.T) {
 	r := NewRecorder(Config{SampleEvery: 100})
 	v := int64(0)
 	r.AddGauge("g", func() int64 { return v })
 
 	v = 1
-	r.Refresh(0) // crosses the initial boundary at t=0
+	r.MaybeSample(0) // crosses the initial boundary at t=0
 	v = 2
-	r.Refresh(50) // within the period: no sample
+	r.MaybeSample(50) // within the period: no sample
 	v = 3
-	r.Refresh(100) // next boundary
+	r.MaybeSample(100) // next boundary
 	v = 4
-	r.Refresh(150)
+	r.MaybeSample(150)
 	v = 5
-	r.Refresh(260) // skipped past 200; boundary advances beyond now
+	r.MaybeSample(260) // skipped past 200; boundary advances beyond now
 
 	s := r.Snapshot()
 	if len(s.Gauges) != 1 || s.Gauges[0].Name != "g" {
@@ -97,19 +97,24 @@ func TestRefreshGaugeSampling(t *testing.T) {
 	if !reflect.DeepEqual(s.Gauges[0].Samples, want) {
 		t.Errorf("samples = %+v, want %+v", s.Gauges[0].Samples, want)
 	}
-	if r.Totals().Refreshes != 5 {
-		t.Errorf("refreshes = %d, want 5", r.Totals().Refreshes)
+	// Refresh now only counts; it never drives sampling.
+	r.Refresh(0, 300)
+	if r.Totals().Refreshes != 1 {
+		t.Errorf("refreshes = %d, want 1", r.Totals().Refreshes)
+	}
+	if got := len(r.Snapshot().Gauges[0].Samples); got != 3 {
+		t.Errorf("Refresh added a gauge sample: %d points, want 3", got)
 	}
 }
 
 func TestAddGaugeReplacementKeepsSeries(t *testing.T) {
 	r := NewRecorder(Config{SampleEvery: 10})
 	r.AddGauge("g", func() int64 { return 1 })
-	r.Refresh(0)
+	r.MaybeSample(0)
 	// Re-registration (machine re-attachment) swaps the sampler but the
 	// recorded series continues.
 	r.AddGauge("g", func() int64 { return 2 })
-	r.Refresh(10)
+	r.MaybeSample(10)
 	s := r.Snapshot()
 	want := []GaugePoint{{T: 0, V: 1}, {T: 10, V: 2}}
 	if len(s.Gauges) != 1 || !reflect.DeepEqual(s.Gauges[0].Samples, want) {
@@ -134,9 +139,9 @@ func TestEnsureTopologyGrowsOnly(t *testing.T) {
 func TestSetDefaultSampleEveryDoesNotOverride(t *testing.T) {
 	r := NewRecorder(Config{SampleEvery: 7})
 	r.SetDefaultSampleEvery(100)
-	r.Refresh(0)
+	r.MaybeSample(0)
 	r.AddGauge("g", func() int64 { return 1 })
-	r.Refresh(7) // pinned period still in force
+	r.MaybeSample(7) // pinned period still in force
 	if got := r.cfg.SampleEvery; got != 7 {
 		t.Errorf("SampleEvery = %d, want the pinned 7", got)
 	}
@@ -148,7 +153,10 @@ func TestRecorderReset(t *testing.T) {
 	r.ACT(0, 10)
 	r.ARR(1, 20)
 	r.TableTick(0, 7, 1, 30)
-	r.Refresh(40)
+	r.Refresh(0, 40)
+	r.MaybeSample(40)
+	r.BeginChannelCapture(1)
+	r.ACT(0, 50) // left buffered on purpose: Reset must clear capture state
 	r.Reset()
 
 	if got := r.Totals(); got != (EventTotals{}) {
@@ -167,6 +175,40 @@ func TestRecorderReset(t *testing.T) {
 		if h.Name == "inter_arr_ps" && h.Total != 0 {
 			t.Errorf("inter-ARR state survived reset (total %d)", h.Total)
 		}
+	}
+}
+
+func TestChannelCaptureReplayMatchesDirect(t *testing.T) {
+	// Per-channel event streams recorded under capture and replayed at
+	// EndChannelCapture must leave the recorder in the same state as direct
+	// recording (banks 0-1 = channel 0, banks 2-3 = channel 1 here).
+	drive := func(r *Recorder) {
+		r.ACT(0, 10)
+		r.ARR(2, 20)
+		r.ARRQueued(2, 1, 21)
+		r.Nack(1, 30)
+		r.Dequeue(1, 3, 400)
+		r.Spill(3, 40)
+		r.TableTick(1, 5, 2, 50)
+		r.Refresh(0, 60)
+		r.ARR(2, 90)
+	}
+	direct := NewRecorder(Config{Banks: 4})
+	drive(direct)
+
+	captured := NewRecorder(Config{Banks: 4})
+	captured.BeginChannelCapture(2)
+	drive(captured)
+	if captured.Totals() != (EventTotals{}) {
+		t.Fatalf("capture mode leaked into totals: %+v", captured.Totals())
+	}
+	captured.EndChannelCapture()
+
+	if direct.Totals() != captured.Totals() {
+		t.Errorf("totals diverge: direct %+v, captured %+v", direct.Totals(), captured.Totals())
+	}
+	if !reflect.DeepEqual(direct.Snapshot(), captured.Snapshot()) {
+		t.Errorf("snapshots diverge:\ndirect   %+v\ncaptured %+v", direct.Snapshot(), captured.Snapshot())
 	}
 }
 

@@ -15,7 +15,7 @@ func collectTwoCells() *Collector {
 	a := NewRecorder(Config{Banks: 1, SampleEvery: 100})
 	a.AddGauge("requests_served", func() int64 { return 42 })
 	a.TableTick(0, 5, 2, 70)
-	a.Refresh(100)
+	a.MaybeSample(100)
 	col.Record(0, CellLabel{Workload: "S3", Defense: "TWiCe"}, a.Snapshot())
 
 	b := NewRecorder(Config{Banks: 1})

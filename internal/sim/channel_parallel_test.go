@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/defense"
+	"repro/internal/defense/para"
+	"repro/internal/mc"
+	"repro/internal/probe"
+	"repro/internal/workload"
+)
+
+// chanCfg builds the quick-scale config with the requested channel count,
+// page policy, and write buffering, plus the channel-parallel knobs under
+// test. Two cores keep cross-core detection attribution in play.
+func chanCfg(channels int, pol mc.PagePolicy, buffered bool, workers int, epoch clock.Time) Config {
+	cfg := DefaultConfig(2)
+	cfg.DRAM.Channels = channels
+	cfg.DRAM.TREFW = clock.Millisecond
+	cfg.DRAM.NTh = 2048
+	cfg.MC = mc.NewConfig(cfg.DRAM)
+	cfg.MC.PagePolicy = pol
+	if !buffered {
+		cfg.MC.WriteQueueDepth = 0
+	}
+	cfg.ChannelWorkers = workers
+	cfg.ChannelEpoch = epoch
+	return cfg
+}
+
+// s1Workload spreads uniformly random traffic across every channel, so a
+// multi-channel run keeps several channels eligible inside one epoch — the
+// case the parallel path must get right.
+func s1Workload(t *testing.T, cfg Config) workload.Workload {
+	t.Helper()
+	m, err := mc.NewAddrMap(cfg.DRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return workload.S1(m, cfg.DRAM, 11)
+}
+
+// chanDefense builds the cell's defense. Both TWiCe and PARA are
+// channel-sharded (defense.ChannelSharded), so both must take the parallel
+// path when workers allow it.
+func chanDefense(t *testing.T, cfg Config, kind string) defense.Defense {
+	t.Helper()
+	switch kind {
+	case "twice":
+		return scaledTWiCe(t, cfg, core.PA)
+	case "para":
+		pa, err := para.New(0.01, cfg.DRAM, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pa
+	default:
+		t.Fatalf("unknown defense kind %q", kind)
+		return nil
+	}
+}
+
+// chanRunState is everything one run leaves behind that an observer could
+// compare: the full Result, the telemetry snapshot, and its serialized
+// exports.
+type chanRunState struct {
+	res        *Result
+	snap       probe.Snapshot
+	csv, jsonl []byte
+}
+
+func runChannelCell(t *testing.T, cfg Config, defKind string, lim Limits) chanRunState {
+	t.Helper()
+	m, err := NewMachine(cfg, chanDefense(t, cfg, defKind), s1Workload(t, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := probe.NewRecorder(probe.Config{})
+	m.SetRecorder(rec)
+	res, err := m.Run(lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exportState(t, res, rec, defKind)
+}
+
+func exportState(t *testing.T, res *Result, rec *probe.Recorder, defKind string) chanRunState {
+	t.Helper()
+	st := chanRunState{res: res, snap: rec.Snapshot()}
+	labels := []probe.CellLabel{{Workload: "S1", Defense: defKind}}
+	var csv, jsonl bytes.Buffer
+	if err := probe.WriteCSV(&csv, labels, []probe.Snapshot{st.snap}); err != nil {
+		t.Fatal(err)
+	}
+	if err := probe.WriteJSONL(&jsonl, labels, []probe.Snapshot{st.snap}); err != nil {
+		t.Fatal(err)
+	}
+	st.csv, st.jsonl = csv.Bytes(), jsonl.Bytes()
+	return st
+}
+
+// compareRuns asserts the two runs are observationally identical: full
+// Result (counters, sim time, flips, RCD stats, detection attribution, L3),
+// telemetry snapshot, and byte-identical CSV/JSONL exports.
+func compareRuns(t *testing.T, serial, par chanRunState) {
+	t.Helper()
+	if serial.res.Counters != par.res.Counters {
+		t.Errorf("counters diverge:\n serial   %+v\n parallel %+v", serial.res.Counters, par.res.Counters)
+	}
+	if !reflect.DeepEqual(serial.res, par.res) {
+		t.Errorf("results diverge:\n serial   %+v\n parallel %+v", serial.res, par.res)
+	}
+	if !reflect.DeepEqual(serial.snap, par.snap) {
+		t.Errorf("telemetry snapshots diverge:\n serial   %+v\n parallel %+v", serial.snap.Events, par.snap.Events)
+	}
+	if !bytes.Equal(serial.csv, par.csv) {
+		t.Error("telemetry CSV differs between serial and channel-parallel runs")
+	}
+	if !bytes.Equal(serial.jsonl, par.jsonl) {
+		t.Error("telemetry JSONL differs between serial and channel-parallel runs")
+	}
+}
+
+// TestChannelParallelEquivalence is the tentpole contract: for every channel
+// count × page policy × write-buffering × defense cell, a run with
+// ChannelWorkers > 1 must be byte-identical to the ChannelWorkers = 0 run —
+// same Result, same telemetry, same serialized exports — both under the
+// classic loop (epoch 0, where parallelism only engages when wake times
+// collide) and under an epoch-barrier lookahead of one tREFI (where several
+// channels advance concurrently every barrier).
+func TestChannelParallelEquivalence(t *testing.T) {
+	policies := []struct {
+		name string
+		pol  mc.PagePolicy
+	}{
+		{"open", mc.OpenPage},
+		{"closed", mc.ClosedPage},
+		{"minopen", mc.MinimalistOpen},
+	}
+	lim := Limits{MaxRequests: 2500, MaxTime: 20 * clock.Millisecond}
+	trefi := DefaultConfig(1).DRAM.TREFI
+	for _, channels := range []int{1, 2, 4} {
+		for _, pol := range policies {
+			for _, buffered := range []bool{true, false} {
+				for _, defKind := range []string{"twice", "para"} {
+					// Under the race detector, keep only the cells that
+					// exercise distinct parallel-path behaviour: multi-channel
+					// runs across both buffering modes and both defenses, on
+					// one page policy (see raceDetectorOn).
+					if raceDetectorOn && (channels < 2 || pol.pol != mc.MinimalistOpen) {
+						continue
+					}
+					wq := "wq"
+					if !buffered {
+						wq = "nowq"
+					}
+					name := fmt.Sprintf("ch%d/%s/%s/%s", channels, pol.name, wq, defKind)
+					t.Run(name, func(t *testing.T) {
+						for _, epoch := range []clock.Time{0, trefi} {
+							serial := runChannelCell(t, chanCfg(channels, pol.pol, buffered, 0, epoch), defKind, lim)
+							par := runChannelCell(t, chanCfg(channels, pol.pol, buffered, 4, epoch), defKind, lim)
+							compareRuns(t, serial, par)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestChannelReuseAfterParallelRun extends the machine-recycling contract to
+// channel parallelism: a machine dirtied by a channel-parallel run and then
+// recycled for a second cell must behave exactly like a fresh machine — and
+// both must match the serial (ChannelWorkers = 0) run of that second cell.
+func TestChannelReuseAfterParallelRun(t *testing.T) {
+	trefi := DefaultConfig(1).DRAM.TREFI
+	lim := Limits{MaxRequests: 4000, MaxTime: 20 * clock.Millisecond}
+	cfg := chanCfg(4, mc.MinimalistOpen, true, 4, trefi)
+
+	runner := NewCellRunner(cfg)
+	// First cell dirties the machine through the parallel path.
+	runner.SetRecorder(probe.NewRecorder(probe.Config{}))
+	if _, err := runner.Run(chanDefense(t, cfg, "para"), s1Workload(t, cfg), lim); err != nil {
+		t.Fatal(err)
+	}
+	// Second cell on the recycled machine.
+	reRec := probe.NewRecorder(probe.Config{})
+	runner.SetRecorder(reRec)
+	reRes, err := runner.Run(chanDefense(t, cfg, "twice"), s1Workload(t, cfg), lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused := exportState(t, reRes, reRec, "twice")
+
+	// Fresh parallel machine for the same cell.
+	fresh := runChannelCell(t, cfg, "twice", lim)
+	compareRuns(t, fresh, reused)
+
+	// And the serial ground truth at the same epoch.
+	serialCfg := cfg
+	serialCfg.ChannelWorkers = 0
+	serial := runChannelCell(t, serialCfg, "twice", lim)
+	compareRuns(t, serial, reused)
+}

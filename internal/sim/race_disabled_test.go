@@ -1,0 +1,6 @@
+//go:build !race
+
+package sim
+
+// raceDetectorOn reports whether this test binary was built with -race.
+const raceDetectorOn = false

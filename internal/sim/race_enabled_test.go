@@ -1,0 +1,10 @@
+//go:build race
+
+package sim
+
+// raceDetectorOn reports whether this test binary was built with -race.
+// The channel-parallel equivalence grid shrinks to a representative subset
+// under the detector: race coverage depends on the parallel machinery, not
+// on the page-policy × buffering cross product, and the ~15× detector
+// slowdown would otherwise dominate verify.sh.
+const raceDetectorOn = true

@@ -31,6 +31,23 @@ type Config struct {
 	Seed int64
 	// Remap enables spare-row remapping sampled at DRAM.SCFRate.
 	Remap bool
+
+	// ChannelWorkers is the intra-machine parallelism budget: the number of
+	// goroutines System.Advance may spread eligible channels over. 0 or 1
+	// keeps the serial fast path (zero new allocations); higher values are
+	// byte-identical to serial at the same ChannelEpoch — completions,
+	// counters, and telemetry are buffered per channel and applied in serial
+	// order. Only takes effect when the defense is channel-safe
+	// (defense.ChannelSharded); others silently run serial.
+	ChannelWorkers int
+	// ChannelEpoch is the event-loop lookahead window: each iteration
+	// advances the memory system to min-event-time + ChannelEpoch instead of
+	// exactly the min event time, giving parallel channel workers a batch of
+	// work per barrier. 0 preserves the classic one-event-at-a-time loop.
+	// The epoch quantizes new request arrivals to epoch boundaries, so a
+	// nonzero epoch is a (deterministic) different simulation than epoch 0 —
+	// results depend on the epoch, never on the worker count.
+	ChannelEpoch clock.Time
 }
 
 // DefaultConfig returns the paper's Table 4 machine for the given core
@@ -166,6 +183,7 @@ func NewMachine(cfg Config, def defense.Defense, w workload.Workload) (*Machine,
 	if err != nil {
 		return nil, err
 	}
+	sys.SetChannelWorkers(cfg.ChannelWorkers)
 	m := &Machine{
 		cfg: cfg, w: w, def: def,
 		dev: dev, amap: amap, sys: sys, cnt: cnt,
@@ -341,6 +359,7 @@ func (m *Machine) Run(lim Limits) (*Result, error) {
 	}
 
 	m.served = 0
+	epoch := m.cfg.ChannelEpoch
 	now := clock.Time(0)
 	for m.served < lim.MaxRequests && now < lim.MaxTime {
 		next := m.sys.NextEvent()
@@ -354,11 +373,31 @@ func (m *Machine) Run(lim Limits) (*Result, error) {
 		if now >= lim.MaxTime {
 			break
 		}
-		m.sys.Advance(now)
+		// The epoch-barrier scheme (DESIGN.md §14): advance the memory
+		// system through a whole lookahead window per iteration instead of
+		// one event time, so channel workers get a batch of independent work
+		// between barriers. horizon == now when epoch is 0, which makes this
+		// exactly the classic loop.
+		horizon := now
+		if epoch > 0 {
+			horizon = clock.Min(now+epoch, lim.MaxTime-1)
+		}
+		m.sys.Advance(horizon)
 		for _, c := range m.cores {
-			if c.NextEventTime() <= now {
-				m.coreStep(c, now)
+			// Each core paces itself inside the epoch: steps run at the
+			// core's own issue times (never before now, the barrier's start).
+			// With epoch 0 the condition holds exactly once per eligible core
+			// (Take pushes the next issue past now; a full queue defers past
+			// the horizon), reproducing the legacy single-step body.
+			for c.NextEventTime() <= horizon {
+				m.coreStep(c, clock.Max(c.NextEventTime(), now), horizon)
 			}
+		}
+		if epoch > 0 {
+			now = horizon
+		}
+		if m.rec != nil {
+			m.rec.MaybeSample(now)
 		}
 	}
 
@@ -371,6 +410,9 @@ func (m *Machine) Run(lim Limits) (*Result, error) {
 			break
 		}
 		m.sys.Advance(t)
+		if m.rec != nil {
+			m.rec.MaybeSample(t)
+		}
 	}
 
 	for _, c := range m.cores {
@@ -393,13 +435,17 @@ func (m *Machine) Run(lim Limits) (*Result, error) {
 	return res, nil
 }
 
-// coreStep advances one core by one access.
-func (m *Machine) coreStep(c *cpu.Core, now clock.Time) {
-	a := c.Take(now)
+// coreStep advances one core by one access at time t. Requests it produces
+// enter the controller at the horizon: the channels have already been stepped
+// through the epoch, so arrivals land at the barrier boundary, where the
+// per-bank timing caches' non-decreasing-clock invariant holds (with epoch 0,
+// horizon == t and this is the classic behaviour).
+func (m *Machine) coreStep(c *cpu.Core, t, horizon clock.Time) {
+	a := c.Take(t)
 	addr := a.Addr &^ 63
 
 	if m.w.BypassCache {
-		m.submit(c, addr, a.Write, now)
+		m.submit(c, addr, a.Write, horizon)
 		return
 	}
 
@@ -413,22 +459,23 @@ func (m *Machine) coreStep(c *cpu.Core, now clock.Time) {
 	for _, ma := range res.Mem {
 		switch {
 		case ma.Demand:
-			m.submit(c, ma.Addr, false, now)
+			m.submit(c, ma.Addr, false, horizon)
 		case ma.Prefetch:
-			m.submitBestEffort(c.ID, ma.Addr, false, now)
+			m.submitBestEffort(c.ID, ma.Addr, false, horizon)
 		default: // writeback or non-blocking fill
-			m.submitBestEffort(c.ID, ma.Addr, ma.Write, now)
+			m.submitBestEffort(c.ID, ma.Addr, ma.Write, horizon)
 		}
 	}
 }
 
 // submit enqueues a demand access, deferring the core when the queue is
-// full.
-func (m *Machine) submit(c *cpu.Core, addr uint64, write bool, now clock.Time) {
+// full. The retry lands past the horizon so a full queue cannot spin inside
+// one epoch.
+func (m *Machine) submit(c *cpu.Core, addr uint64, write bool, horizon clock.Time) {
 	req := m.newRequest(addr, write, c.ID, m.demandDone[c.ID])
-	if !m.sys.Enqueue(req, now) {
+	if !m.sys.Enqueue(req, horizon) {
 		m.release(req)
-		c.Defer(workload.Access{Addr: addr, Write: write, Gap: 1}, now+retryDelay)
+		c.Defer(workload.Access{Addr: addr, Write: write, Gap: 1}, horizon+retryDelay)
 		return
 	}
 	c.OnMiss()
@@ -438,9 +485,9 @@ func (m *Machine) submit(c *cpu.Core, addr uint64, write bool, now clock.Time) {
 // prefetches); when the queue is full the access is dropped, which is what
 // real prefetchers do and is harmless for write data in a reliability model.
 // Completions still count toward the run's request budget.
-func (m *Machine) submitBestEffort(coreID int, addr uint64, write bool, now clock.Time) {
+func (m *Machine) submitBestEffort(coreID int, addr uint64, write bool, horizon clock.Time) {
 	req := m.newRequest(addr, write, coreID, m.bestEffortDone)
-	if !m.sys.Enqueue(req, now) {
+	if !m.sys.Enqueue(req, horizon) {
 		m.release(req)
 	}
 }

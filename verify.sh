@@ -19,10 +19,13 @@
 #                        so a change that breaks only benchmark-path code
 #                        (the perfbench hot-path legs share these bodies)
 #                        cannot land green
-#   5. go test -race   — race detector over the event loop, the TWiCe
+#   5. go test -race   — race detector over the event loop, the memory
+#                        controller (channel-parallel Advance), the TWiCe
 #                        engine, and the parallel experiment runner, plus
-#                        the serial/parallel equivalence test so the real
-#                        experiment fan-out runs under the detector
+#                        the serial/parallel equivalence tests — both the
+#                        experiment fan-out and the intra-machine
+#                        channel-worker grid — so the real concurrency
+#                        runs under the detector
 #   6. fuzz (non-tier-1) — a short trace-reader fuzz burst; new findings
 #                        land in internal/trace/testdata/fuzz as regression
 #                        seeds. Not part of the tier-1 gate: skip with
@@ -49,11 +52,14 @@ go test ./...
 echo "==> go test -run='^\$' -bench=SimRun -benchtime=1x ./internal/sim"
 go test -run='^$' -bench=SimRun -benchtime=1x ./internal/sim
 
-echo "==> go test -race ./internal/sim/... ./internal/core/... ./internal/parallel/..."
-go test -race ./internal/sim/... ./internal/core/... ./internal/parallel/...
+echo "==> go test -race ./internal/sim/... ./internal/mc/... ./internal/core/... ./internal/parallel/..."
+go test -race ./internal/sim/... ./internal/mc/... ./internal/core/... ./internal/parallel/...
 
 echo "==> go test -race -run TestParallelSerialEquivalence ./internal/experiments"
 go test -race -run TestParallelSerialEquivalence ./internal/experiments
+
+echo "==> go test -race -run 'TestChannelParallelEquivalence|TestChannelReuseAfterParallelRun' ./internal/sim"
+go test -race -run 'TestChannelParallelEquivalence|TestChannelReuseAfterParallelRun' ./internal/sim
 
 if [ "${SKIP_FUZZ:-0}" != "1" ]; then
 	echo "==> go test -run='^$' -fuzz=FuzzReader -fuzztime=10s ./internal/trace (non-tier-1)"
