@@ -16,8 +16,12 @@
 // cells and an ETA on stderr as grid cells finish. -telemetry writes each
 // grid experiment's per-cell event totals, histograms, and occupancy series
 // as <dir>/<experiment>.csv and .jsonl — byte-identical at any worker count.
-// -debug-addr serves expvar (including live grid progress counters) and
-// net/http/pprof for poking at a long paper-scale run.
+// -timeline writes each grid experiment's simulated-time schedule as
+// <dir>/<experiment>.trace.json (Chrome trace-event format, one process per
+// grid cell × channel; open at ui.perfetto.dev), also byte-identical at any
+// worker count; -timeline-windows K keeps only the last K tREFI windows per
+// cell. -debug-addr serves expvar (including live grid progress counters)
+// and net/http/pprof for poking at a long paper-scale run.
 package main
 
 import (
@@ -32,6 +36,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/experiments"
 	"repro/internal/probe"
+	"repro/internal/timeline"
 )
 
 func main() {
@@ -44,6 +49,8 @@ func main() {
 	chanEpoch := flag.Duration("channel-epoch", 0, "event-loop lookahead window per cell, e.g. 7.8us (0 = classic loop; changes arrival quantization deterministically)")
 	progressFlag := flag.Bool("progress", false, "report completed/total grid cells and ETA on stderr")
 	telemetryDir := flag.String("telemetry", "", "directory to write per-experiment telemetry CSV/JSONL into")
+	timelineDir := flag.String("timeline", "", "directory to write per-experiment Chrome trace-event timelines into")
+	timelineWindows := flag.Int("timeline-windows", 0, "flight-recorder mode: keep only the last K tREFI windows per cell (0 = full trace)")
 	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -79,7 +86,17 @@ func main() {
 	var col *probe.Collector
 	if *telemetryDir != "" {
 		col = &probe.Collector{}
+		col.Meta = &probe.RunMeta{
+			ChannelEpoch:   s.ChannelEpoch,
+			ChannelWorkers: s.ChannelWorkers,
+			GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		}
 		s.Telemetry = col
+	}
+	var grid *timeline.Grid
+	if *timelineDir != "" {
+		grid = &timeline.Grid{Config: timeline.Config{Windows: *timelineWindows}}
+		s.Timeline = grid
 	}
 	// instrument points one grid experiment's progress hook at the stderr
 	// meter and the expvar counters; the returned finish func ends the meter
@@ -131,6 +148,30 @@ func main() {
 		writeOne(base+".csv", func(f *os.File) error { return col.WriteCSV(f) })
 		writeOne(base+".jsonl", func(f *os.File) error { return col.WriteJSONL(f) })
 		fmt.Fprintf(os.Stderr, "(wrote %s.csv and %s.jsonl)\n", base, base)
+	}
+	// writeTimeline exports the grid's simulated-time trace after one grid
+	// experiment (no-op without -timeline). The grid is restarted per
+	// experiment by runGrid, so each file holds exactly one experiment.
+	writeTimeline := func(name string) {
+		if grid == nil {
+			return
+		}
+		if err := os.MkdirAll(*timelineDir, 0o755); err != nil {
+			fail(err)
+		}
+		path := *timelineDir + "/" + name + ".trace.json"
+		f, err := os.Create(path)
+		if err != nil {
+			fail(err)
+		}
+		if err := grid.WriteTrace(f); err != nil {
+			_ = f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "(wrote %s — open it at https://ui.perfetto.dev)\n", path)
 	}
 
 	if *cpuprofile != "" {
@@ -195,6 +236,7 @@ func main() {
 			fail(err)
 		}
 		writeTelemetry("fig7b")
+		writeTimeline("fig7b")
 		writeCSV(*csvDir, "fig7b.csv", cells)
 		fmt.Print(experiments.RenderCells("additional ACTs, synthetics", cells))
 		fmt.Println("paper: TWiCe 0/0/0.006%; PARA-p ≈ p; CBT-256 up to 4.82% (S2), 0.39% (S3)")
@@ -211,6 +253,7 @@ func main() {
 			fail(err)
 		}
 		writeTelemetry("fig7a")
+		writeTimeline("fig7a")
 		writeCSV(*csvDir, "fig7a.csv", cells)
 		fmt.Print(experiments.RenderCells("additional ACTs, normal workloads", cells))
 		fmt.Println("paper: TWiCe 0 everywhere; PARA ≈ p; CBT-256 ≈ 0.05% average")
@@ -225,6 +268,7 @@ func main() {
 			fail(err)
 		}
 		writeTelemetry("table1")
+		writeTimeline("table1")
 		fmt.Print(experiments.RenderTable1(rows))
 		fmt.Println("paper: CRA/CBT high adversarial drop; PARA small but undetecting; TWiCe smallest + detects")
 		fmt.Println()

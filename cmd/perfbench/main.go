@@ -114,6 +114,12 @@ type chanLeg struct {
 	Seconds  float64 `json:"seconds"`
 	NsPerReq float64 `json:"ns_per_request"`
 	Speedup  float64 `json:"speedup_vs_serial"`
+	// GOMAXPROCS and Degenerate qualify the speedup: with fewer CPUs than
+	// channels the workers cannot actually overlap, so a flat speedup says
+	// nothing about the barrier design. benchdiff prints the flag beside
+	// the leg so cross-host comparisons don't mistake it for a regression.
+	GOMAXPROCS int  `json:"gomaxprocs"`
+	Degenerate bool `json:"degenerate"`
 }
 
 type report struct {
@@ -464,10 +470,12 @@ func benchChannels(channels, workers int, requests int64) (chanLeg, error) {
 	}
 	dur := time.Since(start)
 	leg := chanLeg{
-		Channels: channels,
-		Workers:  workers,
-		Requests: res.Counters.RequestsServed,
-		Seconds:  dur.Seconds(),
+		Channels:   channels,
+		Workers:    workers,
+		Requests:   res.Counters.RequestsServed,
+		Seconds:    dur.Seconds(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Degenerate: runtime.GOMAXPROCS(0) < channels,
 	}
 	if res.Counters.RequestsServed > 0 {
 		leg.NsPerReq = float64(dur.Nanoseconds()) / float64(res.Counters.RequestsServed)

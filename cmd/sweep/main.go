@@ -14,8 +14,11 @@
 // -parallel runs them concurrently; CSV rows are emitted in value order
 // regardless of which point finishes first. -progress reports completed/total
 // points and an ETA on stderr; -telemetry writes each point's event totals,
-// histograms, and occupancy series as <dir>/sweep.csv and <dir>/sweep.jsonl.
-// Neither flag changes the stdout CSV by a byte.
+// histograms, and occupancy series as <dir>/sweep.csv and <dir>/sweep.jsonl;
+// -timeline writes every point's simulated-time schedule into one Chrome
+// trace-event file (one process per point × channel; open at
+// ui.perfetto.dev), with -timeline-windows K keeping only the last K tREFI
+// windows per point. None of these flags changes the stdout CSV by a byte.
 package main
 
 import (
@@ -36,6 +39,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/probe"
 	"repro/internal/sim"
+	"repro/internal/timeline"
 	"repro/internal/workload"
 )
 
@@ -49,6 +53,8 @@ func main() {
 	chanEpoch := flag.Duration("channel-epoch", 0, "event-loop lookahead window per point, e.g. 7.8us (0 = classic loop; changes arrival quantization deterministically)")
 	progressFlag := flag.Bool("progress", false, "report completed/total sweep points and ETA on stderr")
 	telemetryDir := flag.String("telemetry", "", "directory to write per-point telemetry CSV/JSONL into")
+	timelineFile := flag.String("timeline", "", "write a Chrome trace-event timeline of every sweep point to this file")
+	timelineWindows := flag.Int("timeline-windows", 0, "flight-recorder mode: keep only the last K tREFI windows per point (0 = full trace)")
 	flag.Parse()
 	if *values == "" {
 		fail(fmt.Errorf("-values is required"))
@@ -77,20 +83,40 @@ func main() {
 	var col *probe.Collector
 	if *telemetryDir != "" {
 		col = &probe.Collector{}
+		col.Meta = &probe.RunMeta{
+			ChannelEpoch:   s.ChannelEpoch,
+			ChannelWorkers: s.ChannelWorkers,
+			GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		}
 		col.Start(len(points))
+	}
+	var grid *timeline.Grid
+	if *timelineFile != "" {
+		grid = &timeline.Grid{Config: timeline.Config{Windows: *timelineWindows}}
+		grid.Start(len(points))
 	}
 	lines, err := parallel.MapOn(pool, len(points), func(i int) (string, error) {
 		raw := strings.TrimSpace(points[i])
 		var rec *probe.Recorder
 		if col != nil {
 			rec = probe.NewRecorder(col.Config)
+		} else if grid != nil {
+			rec = probe.NewRecorder(probe.Config{}) // sink carrier only
+		}
+		var tl *timeline.Recorder
+		if grid != nil && rec != nil {
+			tl = grid.NewRecorder()
+			rec.SetSink(tl)
 		}
 		line, err := runPoint(*param, raw, s, *requests, *seed, rec)
 		if err != nil {
 			return "", err
 		}
-		if rec != nil {
+		if col != nil && rec != nil {
 			col.Record(i, probe.CellLabel{Workload: "S3", Defense: *param + "=" + raw}, rec.Snapshot())
+		}
+		if tl != nil {
+			grid.Record(i, "S3", *param+"="+raw, tl)
 		}
 		return line, nil
 	})
@@ -98,6 +124,7 @@ func main() {
 		fail(err)
 	}
 	writeTelemetry(*telemetryDir, col)
+	writeTimeline(*timelineFile, grid)
 	fmt.Println("param,value,extra_act_ratio,detections,arrs,nacks,flips,table_entries")
 	for _, line := range lines {
 		fmt.Print(line)
@@ -129,6 +156,26 @@ func writeTelemetry(dir string, col *probe.Collector) {
 	writeOne(dir+"/sweep.csv", func(f *os.File) error { return col.WriteCSV(f) })
 	writeOne(dir+"/sweep.jsonl", func(f *os.File) error { return col.WriteJSONL(f) })
 	fmt.Fprintf(os.Stderr, "sweep: wrote %s/sweep.csv and %s/sweep.jsonl\n", dir, dir)
+}
+
+// writeTimeline exports the per-point trace grid as one Chrome trace-event
+// file (no-op without -timeline).
+func writeTimeline(path string, grid *timeline.Grid) {
+	if grid == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	if err := grid.WriteTrace(f); err != nil {
+		_ = f.Close()
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: wrote %s — open it at https://ui.perfetto.dev\n", path)
 }
 
 // runPoint simulates one sweep point and returns its CSV row (with trailing

@@ -17,8 +17,13 @@
 //
 // -telemetry attaches event probes to every run and writes histogram,
 // occupancy, and gauge series as <dir>/run.csv and <dir>/run.jsonl (one cell
-// per defense, byte-identical at any -parallel value). -debug-addr serves
-// expvar and net/http/pprof while the simulations run.
+// per defense, byte-identical at any -parallel value). -timeline writes a
+// Chrome trace-event / Perfetto JSON timeline of every run (open it at
+// ui.perfetto.dev); -timeline-windows K switches it to flight-recorder mode,
+// keeping only the last K tREFI windows unless a detection pins the ring.
+// When the channel-parallel loop runs (-channel-workers > 1), a *.wall.json
+// sidecar reports the nondeterministic wall-clock epoch profile. -debug-addr
+// serves expvar and net/http/pprof while the simulations run.
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"repro/internal/clock"
 	"repro/internal/detutil"
@@ -37,6 +43,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/probe"
 	"repro/internal/sim"
+	"repro/internal/timeline"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -54,6 +61,8 @@ func main() {
 	chanWorkers := flag.Int("channel-workers", 0, "goroutines across one machine's DRAM channels (0/1 = serial; byte-identical results)")
 	chanEpoch := flag.Duration("channel-epoch", 0, "event-loop lookahead window, e.g. 7.8us (0 = classic loop; changes arrival quantization deterministically)")
 	telemetryDir := flag.String("telemetry", "", "directory to write run telemetry CSV/JSONL into")
+	timelineFile := flag.String("timeline", "", "write a Chrome trace-event / Perfetto JSON timeline to this file")
+	timelineWindows := flag.Int("timeline-windows", 0, "flight-recorder mode: keep only the last K tREFI windows (0 = full trace; first detection pins the ring)")
 	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -137,6 +146,10 @@ func main() {
 	if *telemetryDir != "" {
 		col = &probe.Collector{}
 	}
+	var grid *timeline.Grid
+	if *timelineFile != "" {
+		grid = &timeline.Grid{Config: timeline.Config{Windows: *timelineWindows}}
+	}
 
 	dnames := strings.Split(*dname, ",")
 	// Compose -parallel × -channel-workers: shrink the per-machine channel
@@ -149,7 +162,27 @@ func main() {
 		}
 	}
 	if col != nil {
+		col.Meta = &probe.RunMeta{
+			ChannelEpoch:   cfg.ChannelEpoch,
+			ChannelWorkers: cfg.ChannelWorkers,
+			GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		}
 		col.Start(len(dnames))
+	}
+	if grid != nil {
+		grid.Start(len(dnames))
+	}
+	// Wall-clock profilers (Clock B), one per run: profilers are not safe for
+	// concurrent attachment, and -parallel may run the defense list entries
+	// simultaneously. The wall clock is injected here — time.Now never enters
+	// internal packages (twicelint nondeterm).
+	var walls []*timeline.WallProfiler
+	if grid != nil && cfg.ChannelWorkers > 1 {
+		walls = make([]*timeline.WallProfiler, len(dnames))
+		for i := range walls {
+			start := time.Now()
+			walls[i] = timeline.NewWallProfiler(func() int64 { return int64(time.Since(start)) })
+		}
 	}
 	reports, err := parallel.Map(*par, len(dnames), func(i int) (string, error) {
 		w, err := buildW()
@@ -161,7 +194,7 @@ func main() {
 		if err != nil {
 			return "", err
 		}
-		if col == nil {
+		if col == nil && grid == nil {
 			res, err := sim.Run(cfg, def, w, sim.Limits{MaxRequests: *requests, MaxTime: 30 * clock.Second})
 			if err != nil {
 				return "", err
@@ -172,19 +205,37 @@ func main() {
 		if err != nil {
 			return "", err
 		}
-		rec := probe.NewRecorder(col.Config)
+		var cfgRec probe.Config
+		if col != nil {
+			cfgRec = col.Config
+		}
+		rec := probe.NewRecorder(cfgRec)
+		var tl *timeline.Recorder
+		if grid != nil {
+			tl = grid.NewRecorder()
+			rec.SetSink(tl)
+		}
+		if walls != nil {
+			m.SetWallProfiler(walls[i])
+		}
 		m.SetRecorder(rec)
 		res, err := m.Run(sim.Limits{MaxRequests: *requests, MaxTime: 30 * clock.Second})
 		if err != nil {
 			return "", err
 		}
-		col.Record(i, probe.CellLabel{Workload: res.Workload, Defense: name}, rec.Snapshot())
+		if col != nil {
+			col.Record(i, probe.CellLabel{Workload: res.Workload, Defense: name}, rec.Snapshot())
+		}
+		if tl != nil {
+			grid.Record(i, res.Workload, name, tl)
+		}
 		return report(res), nil
 	})
 	if err != nil {
 		fail(err)
 	}
 	writeTelemetry(*telemetryDir, col)
+	writeTimeline(*timelineFile, grid, walls)
 	for i, r := range reports {
 		if i > 0 {
 			fmt.Println(strings.Repeat("-", 60))
@@ -218,6 +269,70 @@ func writeTelemetry(dir string, col *probe.Collector) {
 	writeOne(dir+"/run.csv", func(f *os.File) error { return col.WriteCSV(f) })
 	writeOne(dir+"/run.jsonl", func(f *os.File) error { return col.WriteJSONL(f) })
 	fmt.Fprintf(os.Stderr, "twicesim: wrote %s/run.csv and %s/run.jsonl\n", dir, dir)
+}
+
+// writeTimeline exports the recorded timelines as one Chrome trace-event
+// JSON file (no-op without -timeline). When wall profiling ran, a
+// <file>.wall.json sidecar carries the nondeterministic epoch profiles as a
+// JSON array in defense-list order — quarantined from the deterministic
+// trace on purpose (DESIGN.md §15).
+func writeTimeline(path string, grid *timeline.Grid, walls []*timeline.WallProfiler) {
+	if grid == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	if err := grid.WriteTrace(f); err != nil {
+		_ = f.Close()
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "twicesim: wrote %s (open it at https://ui.perfetto.dev)\n", path)
+
+	profiled := 0
+	for _, w := range walls {
+		if w != nil && w.Epochs() > 0 {
+			profiled++
+		}
+	}
+	if profiled == 0 {
+		return
+	}
+	side := path + ".wall.json"
+	wf, err := os.Create(side)
+	if err != nil {
+		fail(err)
+	}
+	if _, err := wf.WriteString("[\n"); err != nil {
+		fail(err)
+	}
+	first := true
+	for _, w := range walls {
+		if w == nil || w.Epochs() == 0 {
+			continue
+		}
+		if !first {
+			if _, err := wf.WriteString(",\n"); err != nil {
+				fail(err)
+			}
+		}
+		first = false
+		if err := w.WriteJSON(wf, runtime.GOMAXPROCS(0)); err != nil {
+			_ = wf.Close()
+			fail(err)
+		}
+	}
+	if _, err := wf.WriteString("]\n"); err != nil {
+		fail(err)
+	}
+	if err := wf.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "twicesim: wrote %s (wall-clock epoch profile, nondeterministic)\n", side)
 }
 
 // report renders the activity report for one completed run.

@@ -26,6 +26,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/probe"
 	"repro/internal/sim"
+	"repro/internal/timeline"
 	"repro/internal/workload"
 )
 
@@ -58,6 +59,11 @@ type Scale struct {
 	// series are byte-identical across serial and parallel runs. Each call
 	// to a grid experiment restarts the collector.
 	Telemetry *probe.Collector
+	// Timeline, when set, attaches one timeline.Recorder per grid cell (as
+	// the probe recorder's sink) and records it by job index, so the Chrome
+	// trace export is byte-identical across serial and parallel runs. Each
+	// call to a grid experiment restarts the grid.
+	Timeline *timeline.Grid
 	// ChannelWorkers is the intra-machine parallelism budget per cell (see
 	// sim.Config.ChannelWorkers): channels of one machine run on this many
 	// goroutines with byte-identical results. Grid runs cap the effective
@@ -263,6 +269,9 @@ func (s Scale) runGrid(jobs []cellJob) ([]Cell, error) {
 	if s.Telemetry != nil {
 		s.Telemetry.Start(len(jobs))
 	}
+	if s.Timeline != nil {
+		s.Timeline.Start(len(jobs))
+	}
 	return parallel.MapWorkersOn(pool, len(jobs), func(worker, i int) (Cell, error) {
 		if runners[worker] == nil {
 			runners[worker] = sim.NewCellRunner(cfg)
@@ -275,16 +284,28 @@ func (s Scale) runGrid(jobs []cellJob) ([]Cell, error) {
 		// One recorder per cell, not per worker: recorders accumulate, and
 		// the collector slots them by job index so serial and parallel runs
 		// export identical series.
+		// The timeline sink rides on the probe recorder's apply path, so it
+		// needs one even when telemetry collection is off.
 		var rec *probe.Recorder
 		if s.Telemetry != nil {
 			rec = probe.NewRecorder(s.Telemetry.Config)
+		} else if s.Timeline != nil {
+			rec = probe.NewRecorder(probe.Config{}) // sink carrier only
+		}
+		var tl *timeline.Recorder
+		if s.Timeline != nil && rec != nil {
+			tl = s.Timeline.NewRecorder()
+			rec.SetSink(tl)
 		}
 		c, err := s.runCell(runners[worker], j.wname, w, j.dname, rec)
 		if err != nil {
 			return Cell{}, err
 		}
-		if rec != nil {
+		if s.Telemetry != nil && rec != nil {
 			s.Telemetry.Record(i, probe.CellLabel{Workload: j.wname, Defense: j.dname}, rec.Snapshot())
+		}
+		if tl != nil {
+			s.Timeline.Record(i, j.wname, j.dname, tl)
 		}
 		return c, nil
 	})

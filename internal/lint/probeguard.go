@@ -28,9 +28,12 @@ import (
 //     package contract.
 
 // isRecorderType reports whether t (after pointer indirection) is a named
-// type Recorder declared in a probe package. Matching the path by substring
-// keeps the fixture packages (analyzed under assumed probe paths) in scope
-// alongside the real repro/internal/probe.
+// type Recorder declared in a probe or timeline package. The timeline
+// recorder (internal/timeline) rides the same attachment contract: probe
+// forwards to it from hot paths behind one nil check, so an unguarded call
+// is the same detached-run panic. Matching the path by substring keeps the
+// fixture packages (analyzed under assumed paths) in scope alongside the
+// real repro/internal/probe and repro/internal/timeline.
 func isRecorderType(t types.Type) bool {
 	if t == nil {
 		return false
@@ -43,7 +46,11 @@ func isRecorderType(t types.Type) bool {
 		return false
 	}
 	obj := n.Obj()
-	return obj.Name() == "Recorder" && obj.Pkg() != nil && strings.Contains(obj.Pkg().Path(), "probe")
+	if obj.Name() != "Recorder" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return strings.Contains(path, "probe") || strings.Contains(path, "timeline")
 }
 
 // guardSet is the set of expressions (by printed form) currently known to
@@ -293,13 +300,16 @@ func nilCheckedExprs(c *checker, cond ast.Expr, op, connector token.Token) []str
 
 // recorderConstructed reports whether the expression is a freshly
 // constructed, necessarily non-nil recorder: a call to a NewRecorder
-// function in a probe package, or &Recorder{...}.
+// function in a probe or timeline package, or &Recorder{...}.
 func (c *checker) recorderConstructed(e ast.Expr) bool {
 	switch e := unparen(e).(type) {
 	case *ast.CallExpr:
 		fn := c.callee(e)
-		return fn != nil && fn.Name() == "NewRecorder" &&
-			fn.Pkg() != nil && strings.Contains(fn.Pkg().Path(), "probe")
+		if fn == nil || fn.Name() != "NewRecorder" || fn.Pkg() == nil {
+			return false
+		}
+		path := fn.Pkg().Path()
+		return strings.Contains(path, "probe") || strings.Contains(path, "timeline")
 	case *ast.UnaryExpr:
 		if e.Op != token.AND {
 			return false

@@ -153,13 +153,13 @@ func (ch *channel) doACT(q *Request, t clock.Time) {
 	if s.probes != nil {
 		s.probes.ACT(id.Flat(&s.cfg.DRAM), t)
 	}
-	ch.applyAction(id, q.Core, s.rcd.ObserveACT(id, q.Addr.Row, t))
+	ch.applyAction(id, q.Core, s.rcd.ObserveACT(id, q.Addr.Row, t), t)
 	ch.updateAttn(i, id)
 }
 
 // applyAction queues the mitigation work a defense requested, attributing
 // any detection to the core whose activation caused it.
-func (ch *channel) applyAction(id dram.BankID, core int, a defense.Action) {
+func (ch *channel) applyAction(id dram.BankID, core int, a defense.Action, t clock.Time) {
 	s := ch.sys
 	b := ch.bank(id.Rank, id.Bank)
 	for _, v := range a.LogicalVictims {
@@ -174,6 +174,9 @@ func (ch *channel) applyAction(id dram.BankID, core int, a defense.Action) {
 	}
 	if a.Detected {
 		ch.cnt.Detections++
+		if s.probes != nil {
+			s.probes.Detection(id.Flat(&s.cfg.DRAM), core, t)
+		}
 		if ch.buffered {
 			// detectionsByCore is a shared map; attribution replays at the
 			// serial apply phase.
@@ -230,7 +233,7 @@ func (ch *channel) doColumn(q *Request, t clock.Time) {
 	}
 	ch.cnt.AddLatency(completion - q.Arrival)
 	if s.probes != nil {
-		s.probes.Dequeue(ch.idx, len(ch.queue)+len(ch.wqueue), completion-q.Arrival)
+		s.probes.Dequeue(ch.idx, len(ch.queue)+len(ch.wqueue), completion-q.Arrival, completion)
 	}
 	if ch.buffered {
 		// Parallel phase: Done feeds cpu.Core state and release hands the

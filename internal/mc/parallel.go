@@ -78,34 +78,59 @@ func (s *System) advanceParallel(now clock.Time) bool {
 	if workers > len(elig) {
 		workers = len(elig)
 	}
+	prof := s.wallProf
+	if prof != nil {
+		// Clock B (wall time) lives entirely in these prof calls — simulated
+		// state never reads it, so determinism is untouched (DESIGN.md §15).
+		prof.BeginEpoch(workers, len(elig))
+	}
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		//twicelint:allocok parallel phase only; the serial fast path never reaches this
-		go func() {
+		go func(w int) {
 			//twicelint:allocok parallel phase only; one deferred frame per worker per barrier
 			defer wg.Done()
+			var busy0 int64
+			if prof != nil {
+				busy0 = prof.Now()
+			}
 			for {
 				i := int(cursor.Add(1)) - 1
 				if i >= len(elig) {
-					return
+					break
 				}
 				ch := elig[i]
 				ch.stepsBuf = ch.advanceTo(now)
 			}
-		}()
+			if prof != nil {
+				// Each worker writes only its own slot; wg.Wait orders the
+				// writes before EndParallel reads them.
+				prof.WorkerBusy(w, prof.Now()-busy0)
+			}
+		}(w)
 	}
 	wg.Wait()
+	if prof != nil {
+		prof.EndParallel()
+	}
 
 	// Serial apply phase: elig preserves s.chans order, so replaying each
 	// channel's buffers in slice order reproduces the serial side-effect
-	// order exactly.
+	// order exactly. stepsBuf is summed first because endParallel zeroes it.
+	var epochSteps int64
+	for _, ch := range elig {
+		epochSteps += ch.stepsBuf
+	}
 	for _, ch := range elig {
 		ch.endParallel()
 	}
 	if s.probes != nil {
 		s.probes.EndChannelCapture()
+	}
+	if prof != nil {
+		prof.EndEpoch(epochSteps)
 	}
 
 	next := clock.Never

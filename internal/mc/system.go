@@ -18,6 +18,7 @@ import (
 	"repro/internal/probe"
 	"repro/internal/rcd"
 	"repro/internal/stats"
+	"repro/internal/timeline"
 	"repro/internal/timing"
 )
 
@@ -127,6 +128,11 @@ type System struct {
 	workers int
 	// parScratch is the reusable eligible-channel list for advanceParallel.
 	parScratch []*channel
+	// wallProf, when non-nil, receives wall-clock epoch profiles from
+	// advanceParallel (Clock B of internal/timeline). Simulated state never
+	// reads it, so attachment cannot perturb determinism.
+	//twicelint:keep caller-owned hook; survives reset like the probe attachment
+	wallProf *timeline.WallProfiler
 }
 
 // New wires a controller over the given device and RCD. The counters object
@@ -212,6 +218,14 @@ func (s *System) SetProbes(p *probe.Recorder) {
 		p.EnsureTopology(s.cfg.DRAM.TotalBanks())
 	}
 	s.probes = p
+}
+
+// SetWallProfiler attaches (or, with nil, detaches) a wall-clock profiler
+// for the channel-parallel loop. Like the probe attachment it is owned by
+// the caller and survives Reset; unlike probes its output is inherently
+// nondeterministic and is exported only through its own sidecar.
+func (s *System) SetWallProfiler(p *timeline.WallProfiler) {
+	s.wallProf = p
 }
 
 // Reset returns the controller and its timing checker to their

@@ -22,6 +22,7 @@ package probe
 import (
 	"repro/internal/clock"
 	"repro/internal/stats"
+	"repro/internal/timeline"
 )
 
 // DefaultMaxSamples bounds each time series when Config.MaxSamples is zero.
@@ -55,6 +56,7 @@ type EventTotals struct {
 	TableTicks    int64 `json:"table_ticks"`    // TWiCe prune passes observed (per bank per PI)
 	EntriesPruned int64 `json:"entries_pruned"` // table entries invalidated by pruning
 	Spills        int64 `json:"spills"`         // inserts landing outside their preferred location
+	Detections    int64 `json:"detections"`     // row-hammer detections raised by the defense
 }
 
 // OccSample is one point of the TWiCe table-occupancy trajectory: the valid
@@ -103,6 +105,16 @@ type Recorder struct {
 
 	dropped int64
 
+	// sink, when attached, receives every applied event as a timeline sample
+	// (internal/timeline). Forwarding happens in the apply* methods — the
+	// serial replay point of channel capture — so trace content is a function
+	// of the simulated event stream alone, at any ChannelWorkers value.
+	sink *timeline.Recorder //twicelint:keep external attachment, not recorded data; survives Reset like gauges
+
+	// recEpoch is the epoch auto-tuner's recommendation for this run
+	// (timeline.RecommendEpoch), stamped by the machine at end of run.
+	recEpoch clock.Time
+
 	// Channel-capture mode (channel-parallel Advance): while capOn, the
 	// per-channel hot hooks append raw events to capture[channel] instead of
 	// touching shared state; EndChannelCapture replays them serially in
@@ -130,6 +142,7 @@ const (
 	capSpill
 	capTableTick
 	capRefresh
+	capDetect
 )
 
 // latencyBounds doubles from 50 ns: DRAM hits land in the first buckets,
@@ -223,6 +236,24 @@ func (r *Recorder) AddGauge(name string, fn func() int64) {
 	r.gauges = append(r.gauges, gauge{name: name, fn: fn})
 }
 
+// SetSink attaches (or, with nil, detaches) a timeline recorder. Every event
+// the recorder applies is forwarded to the sink as a simulated-time sample;
+// the machine wires the sink's topology and default window at attachment.
+func (r *Recorder) SetSink(tl *timeline.Recorder) { r.sink = tl }
+
+// Sink returns the attached timeline recorder, if any.
+func (r *Recorder) Sink() *timeline.Recorder { return r.sink }
+
+// SetRecommendedEpoch stores the epoch auto-tuner's ChannelEpoch
+// recommendation for this run. The machine computes it from simulated
+// quantities only (timeline.RecommendEpoch), so it is deterministic and safe
+// to export alongside the telemetry.
+func (r *Recorder) SetRecommendedEpoch(e clock.Time) { r.recEpoch = e }
+
+// RecommendedEpoch returns the stored ChannelEpoch recommendation (zero if
+// the machine never stamped one).
+func (r *Recorder) RecommendedEpoch() clock.Time { return r.recEpoch }
+
 // ---- hot-path hooks ----
 //
 // Callers guard each call with `if probes != nil`; the methods themselves
@@ -242,8 +273,9 @@ func (r *Recorder) ACT(bank int, now clock.Time) {
 
 func (r *Recorder) applyACT(bank int, now clock.Time) {
 	r.totals.ACTs++
-	_ = bank
-	_ = now
+	if r.sink != nil {
+		r.sink.ACT(bank, now)
+	}
 }
 
 // ARR records one executed adjacent-row refresh and the simulated-time
@@ -265,6 +297,9 @@ func (r *Recorder) applyARR(bank int, now clock.Time) {
 		}
 		r.lastARR[bank] = now
 	}
+	if r.sink != nil {
+		r.sink.ARR(bank, now)
+	}
 }
 
 // ARRQueued records one aggressor filed as pending ARR work at the RCD.
@@ -279,7 +314,9 @@ func (r *Recorder) ARRQueued(bank, pending int, now clock.Time) {
 
 func (r *Recorder) applyARRQueued(bank, pending int, now clock.Time) {
 	r.totals.ARRsQueued++
-	_, _, _ = bank, pending, now
+	if r.sink != nil {
+		r.sink.ARRQueued(bank, pending, now)
+	}
 }
 
 // Nack records one nacked controller command on the given channel.
@@ -289,12 +326,14 @@ func (r *Recorder) Nack(channel int, now clock.Time) {
 		r.capture[channel] = append(r.capture[channel], capEvent{kind: capNack, t: now})
 		return
 	}
-	r.applyNack(now)
+	r.applyNack(channel, now)
 }
 
-func (r *Recorder) applyNack(now clock.Time) {
+func (r *Recorder) applyNack(channel int, now clock.Time) {
 	r.totals.Nacks++
-	_ = now
+	if r.sink != nil {
+		r.sink.Nack(channel, now)
+	}
 }
 
 // Enqueue records a request accepted into a controller queue with the
@@ -314,20 +353,23 @@ func (r *Recorder) BankDepth(depth int, now clock.Time) {
 }
 
 // Dequeue records a completed request on the given channel: its service
-// latency and the channel's remaining queue occupancy.
-func (r *Recorder) Dequeue(channel, depth int, latency clock.Time) {
+// latency, the channel's remaining queue occupancy, and the completion time.
+func (r *Recorder) Dequeue(channel, depth int, latency, now clock.Time) {
 	if r.capOn {
 		//twicelint:allocok capture buffers reused across epochs; growth amortizes
-		r.capture[channel] = append(r.capture[channel], capEvent{kind: capDequeue, a: int64(depth), b: int64(latency)})
+		r.capture[channel] = append(r.capture[channel], capEvent{kind: capDequeue, a: int64(depth), b: int64(latency), t: now})
 		return
 	}
-	r.applyDequeue(depth, latency)
+	r.applyDequeue(channel, depth, latency, now)
 }
 
-func (r *Recorder) applyDequeue(depth int, latency clock.Time) {
+func (r *Recorder) applyDequeue(channel, depth int, latency, now clock.Time) {
 	r.totals.Dequeues++
 	r.depth.Observe(int64(depth))
 	r.latency.Observe(int64(latency))
+	if r.sink != nil {
+		r.sink.Request(channel, depth, latency, now)
+	}
 }
 
 // Spill records one table insert that landed outside its preferred location
@@ -343,7 +385,9 @@ func (r *Recorder) Spill(bank int, now clock.Time) {
 
 func (r *Recorder) applySpill(bank int, now clock.Time) {
 	r.totals.Spills++
-	_, _ = bank, now
+	if r.sink != nil {
+		r.sink.Spill(bank, now)
+	}
 }
 
 // TableTick records one TWiCe prune pass: the bank's post-prune table
@@ -364,6 +408,9 @@ func (r *Recorder) applyTableTick(bank, occupancy, pruned int, now clock.Time) {
 	if occupancy > r.maxOcc {
 		r.maxOcc = occupancy
 	}
+	if r.sink != nil {
+		r.sink.Prune(bank, occupancy, pruned, now)
+	}
 	if len(r.occ) >= r.cfg.MaxSamples {
 		r.dropped++
 		return
@@ -382,12 +429,33 @@ func (r *Recorder) Refresh(channel int, now clock.Time) {
 		r.capture[channel] = append(r.capture[channel], capEvent{kind: capRefresh, t: now})
 		return
 	}
-	r.applyRefresh(now)
+	r.applyRefresh(channel, now)
 }
 
-func (r *Recorder) applyRefresh(now clock.Time) {
+func (r *Recorder) applyRefresh(channel int, now clock.Time) {
 	r.totals.Refreshes++
-	_ = now
+	if r.sink != nil {
+		r.sink.Refresh(channel, now)
+	}
+}
+
+// Detection records one row-hammer detection attributed to a core. The sink's
+// flight recorder pins on the first detection it sees, preserving the
+// preceding windows for the export.
+func (r *Recorder) Detection(bank, core int, now clock.Time) {
+	if r.capOn {
+		//twicelint:allocok capture buffers reused across epochs; growth amortizes
+		r.capture[r.chanOf(bank)] = append(r.capture[r.chanOf(bank)], capEvent{kind: capDetect, bank: int32(bank), a: int64(core), t: now}) //twicelint:checked flat bank index, bounded by TotalBanks
+		return
+	}
+	r.applyDetection(bank, core, now)
+}
+
+func (r *Recorder) applyDetection(bank, core int, now clock.Time) {
+	r.totals.Detections++
+	if r.sink != nil {
+		r.sink.Detect(bank, core, now)
+	}
 }
 
 // MaybeSample drives the periodic gauge samplers: when simulated time has
@@ -476,15 +544,17 @@ func (r *Recorder) EndChannelCapture() {
 			case capARRQueued:
 				r.applyARRQueued(int(e.bank), int(e.a), e.t)
 			case capNack:
-				r.applyNack(e.t)
+				r.applyNack(ch, e.t)
 			case capDequeue:
-				r.applyDequeue(int(e.a), clock.Time(e.b))
+				r.applyDequeue(ch, int(e.a), clock.Time(e.b), e.t)
 			case capSpill:
 				r.applySpill(int(e.bank), e.t)
 			case capTableTick:
 				r.applyTableTick(int(e.bank), int(e.a), int(e.b), e.t)
 			case capRefresh:
-				r.applyRefresh(e.t)
+				r.applyRefresh(ch, e.t)
+			case capDetect:
+				r.applyDetection(int(e.bank), int(e.a), e.t)
 			}
 		}
 		r.capture[ch] = evs[:0]
@@ -526,6 +596,7 @@ func (r *Recorder) Reset() {
 	}
 	r.nextSample = 0
 	r.dropped = 0
+	r.recEpoch = 0
 	for i := range r.capture {
 		r.capture[i] = r.capture[i][:0]
 	}

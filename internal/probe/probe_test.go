@@ -15,14 +15,16 @@ func TestRecorderTotals(t *testing.T) {
 	r.ARRQueued(0, 1, 25)
 	r.Nack(0, 40)
 	r.Enqueue(3, 50)
-	r.Dequeue(0, 2, 400)
+	r.Dequeue(0, 2, 400, 450)
 	r.Spill(1, 60)
 	r.TableTick(0, 5, 2, 70)
 	r.Refresh(0, 80)
+	r.Detection(1, 3, 90)
 
 	want := EventTotals{
 		ACTs: 2, ARRs: 1, ARRsQueued: 1, Nacks: 1, Refreshes: 1,
 		Enqueues: 1, Dequeues: 1, TableTicks: 1, EntriesPruned: 2, Spills: 1,
+		Detections: 1,
 	}
 	if got := r.Totals(); got != want {
 		t.Errorf("totals = %+v, want %+v", got, want)
@@ -187,10 +189,11 @@ func TestChannelCaptureReplayMatchesDirect(t *testing.T) {
 		r.ARR(2, 20)
 		r.ARRQueued(2, 1, 21)
 		r.Nack(1, 30)
-		r.Dequeue(1, 3, 400)
+		r.Dequeue(1, 3, 400, 430)
 		r.Spill(3, 40)
 		r.TableTick(1, 5, 2, 50)
 		r.Refresh(0, 60)
+		r.Detection(0, 1, 70)
 		r.ARR(2, 90)
 	}
 	direct := NewRecorder(Config{Banks: 4})

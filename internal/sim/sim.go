@@ -18,6 +18,7 @@ import (
 	"repro/internal/probe"
 	"repro/internal/rcd"
 	"repro/internal/stats"
+	"repro/internal/timeline"
 	"repro/internal/workload"
 )
 
@@ -308,7 +309,18 @@ func (m *Machine) SetRecorder(rec *probe.Recorder) {
 	rec.AddGauge("disturb_high_water", m.maxDisturbHighWater)
 	rec.AddGauge("requests_served", func() int64 { return m.served })
 	rec.AddGauge("max_bank_queue_depth", m.sys.MaxBankQueueDepth)
+	if tl := rec.Sink(); tl != nil {
+		// The timeline sink routes flat banks onto (channel, bank) tracks and
+		// buckets flight-recorder windows by tREFI unless configured otherwise.
+		tl.SetTopology(m.cfg.DRAM.Channels, m.cfg.DRAM.TotalBanks())
+		tl.SetDefaultWindow(m.cfg.DRAM.TREFI)
+	}
 }
+
+// SetWallProfiler attaches (or, with nil, detaches) a wall-clock profiler for
+// the channel-parallel loop (Clock B of internal/timeline). The attachment is
+// caller-owned; its output never feeds simulated state.
+func (m *Machine) SetWallProfiler(p *timeline.WallProfiler) { m.sys.SetWallProfiler(p) }
 
 // Recorder returns the attached telemetry recorder, nil when detached.
 func (m *Machine) Recorder() *probe.Recorder { return m.rec }
@@ -413,6 +425,14 @@ func (m *Machine) Run(lim Limits) (*Result, error) {
 		if m.rec != nil {
 			m.rec.MaybeSample(t)
 		}
+	}
+
+	if m.rec != nil {
+		// Epoch auto-tuning telemetry: a deterministic ChannelEpoch suggestion
+		// from this run's simulated step density (ROADMAP item). Pure function
+		// of simulated quantities, so it is identical at any worker count.
+		m.rec.SetRecommendedEpoch(timeline.RecommendEpoch(
+			m.cfg.DRAM.TREFI, m.cfg.DRAM.Channels, m.sys.Steps(), now))
 	}
 
 	for _, c := range m.cores {

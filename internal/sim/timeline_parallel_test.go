@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/mc"
+	"repro/internal/probe"
+	"repro/internal/timeline"
+)
+
+// runTimelineCell runs one cell with a timeline recorder attached as the
+// probe sink and returns the rendered Chrome trace plus the recorder itself.
+// tlCfg lets flight-recorder cases bound the ring.
+func runTimelineCell(t *testing.T, cfg Config, defKind string, lim Limits, tlCfg timeline.Config) ([]byte, *timeline.Recorder, *probe.Recorder) {
+	t.Helper()
+	m, err := NewMachine(cfg, chanDefense(t, cfg, defKind), s1Workload(t, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g timeline.Grid
+	g.Config = tlCfg
+	g.Start(1)
+	tl := g.NewRecorder()
+	rec := probe.NewRecorder(probe.Config{})
+	rec.SetSink(tl)
+	m.SetRecorder(rec)
+	if _, err := m.Run(lim); err != nil {
+		t.Fatal(err)
+	}
+	g.Record(0, "S1", defKind, tl)
+	var buf bytes.Buffer
+	if err := g.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), tl, rec
+}
+
+// TestTimelineParallelByteIdentity is the tentpole's Clock-A contract: the
+// Perfetto export of a run must be byte-identical between the serial loop
+// (ChannelWorkers = 0) and a channel-parallel run (4 workers), for 1/2/4
+// channels under both the classic loop (epoch 0) and a one-tREFI epoch
+// barrier. The trace rides on probe's channel-capture replay, so any
+// ordering leak in the parallel path shows up as a byte diff here.
+func TestTimelineParallelByteIdentity(t *testing.T) {
+	lim := Limits{MaxRequests: 2500, MaxTime: 20 * clock.Millisecond}
+	trefi := DefaultConfig(1).DRAM.TREFI
+	for _, channels := range []int{1, 2, 4} {
+		for _, epoch := range []clock.Time{0, trefi} {
+			name := fmt.Sprintf("ch%d/epoch%d", channels, epoch)
+			t.Run(name, func(t *testing.T) {
+				cfg := chanCfg(channels, mc.MinimalistOpen, true, 0, epoch)
+				serial, _, srec := runTimelineCell(t, cfg, "twice", lim, timeline.Config{})
+				cfg.ChannelWorkers = 4
+				par, _, prec := runTimelineCell(t, cfg, "twice", lim, timeline.Config{})
+				if !bytes.Equal(serial, par) {
+					t.Errorf("trace bytes diverge between serial and 4-worker runs (%d vs %d bytes)",
+						len(serial), len(par))
+				}
+				if !json.Valid(serial) {
+					t.Error("serial trace is not valid JSON")
+				}
+				// The recommended epoch is derived from simulated quantities
+				// only, so it must also match — it feeds telemetry exports.
+				if s, p := srec.RecommendedEpoch(), prec.RecommendedEpoch(); s != p {
+					t.Errorf("recommended epoch diverges: serial %d, parallel %d", s, p)
+				} else if s <= 0 {
+					t.Errorf("recommended epoch = %d, want > 0", s)
+				}
+			})
+		}
+	}
+}
+
+// TestTimelineFlightRecorderInSim pins the -timeline-windows semantics on a
+// real run: a ring of 2 tREFI windows retains at most the newest two windows
+// of events, drops the rest (counted, not silent), and the trace header
+// reports the drops. The full-trace run of the same cell is the reference
+// for how many events the ring gave up.
+func TestTimelineFlightRecorderInSim(t *testing.T) {
+	lim := Limits{MaxRequests: 2500, MaxTime: 20 * clock.Millisecond}
+	trefi := DefaultConfig(1).DRAM.TREFI
+	cfg := chanCfg(2, mc.MinimalistOpen, true, 0, 0)
+
+	full, fullRec, _ := runTimelineCell(t, cfg, "twice", lim, timeline.Config{})
+	ring, ringRec, _ := runTimelineCell(t, cfg, "twice", lim, timeline.Config{Windows: 2})
+
+	if fullRec.Total() != ringRec.Total() {
+		t.Fatalf("total events diverge: full %d, ring %d", fullRec.Total(), ringRec.Total())
+	}
+	if fullRec.Total() <= 0 {
+		t.Fatal("run recorded no events; harness is broken")
+	}
+	// The run spans many tREFI windows, so the ring must actually evict.
+	if ringRec.DroppedWindows() == 0 {
+		t.Fatalf("ring dropped no windows over a %v run with %v windows", lim.MaxTime, trefi)
+	}
+	if got, want := int64(ringRec.Retained())+ringRec.DroppedEvents(), ringRec.Total(); got != want {
+		t.Errorf("retained+dropped = %d, want total %d", got, want)
+	}
+	if ringRec.Retained() >= fullRec.Retained() {
+		t.Errorf("ring retained %d events, full trace %d — ring did not truncate", ringRec.Retained(), fullRec.Retained())
+	}
+	// Retained windows are the newest ones: every ring window index must be
+	// >= the highest full-trace index minus the ring size.
+	fullIdx := fullRec.WindowIndexes()
+	ringIdx := ringRec.WindowIndexes()
+	if len(ringIdx) == 0 || len(ringIdx) > 2 {
+		t.Fatalf("ring window count = %d, want 1..2", len(ringIdx))
+	}
+	newest := fullIdx[len(fullIdx)-1]
+	for _, idx := range ringIdx {
+		if idx < newest-1 {
+			t.Errorf("ring kept window %d; newest is %d — not the tail of the run", idx, newest)
+		}
+	}
+	// Header accounting must surface the truncation to trace consumers.
+	if !bytes.Contains(ring, []byte(fmt.Sprintf(`"dropped_events":"%d"`, ringRec.DroppedEvents()))) {
+		t.Error("ring trace header does not report dropped_events")
+	}
+	if !json.Valid(ring) || !json.Valid(full) {
+		t.Error("trace output is not valid JSON")
+	}
+}

@@ -1,0 +1,270 @@
+// Clock B: the wall-time side of the dual-clock design, plus the
+// deterministic epoch recommendation it motivates.
+//
+// WallProfiler instruments System.advanceParallel (internal/mc) — the one
+// place in the repository where goroutines race real time — with fixed-bucket
+// histograms of per-epoch parallel-phase duration, serial apply duration,
+// worker occupancy, barrier stall, channels stepped, and scheduler steps.
+// Every number here is nondeterministic by nature, so the profile is
+// quarantined: it is exported only through WriteJSON (the *.wall.json
+// sidecar), never mixed into the trace file or telemetry whose byte-identity
+// the determinism tests pin. The wall clock itself is injected (Now) by the
+// cmd layer, keeping time.Now out of internal packages' call graphs exactly
+// as probe.NewProgress does (twicelint nondeterm).
+package timeline
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/clock"
+	"repro/internal/stats"
+)
+
+// WallProfiler accumulates wall-time statistics for the channel-parallel
+// loop. It is attached to at most one System at a time; BeginEpoch/
+// EndParallel/EndEpoch run on the barrier (machine) goroutine, WorkerBusy on
+// worker goroutines with distinct indexes (distinct slice slots, no shared
+// writes; the WaitGroup barrier orders them before EndParallel reads).
+type WallProfiler struct {
+	now func() int64 // injected monotonic-ns source; never wall-clocked internally
+
+	maxWorkers int
+	busy       []int64
+
+	epochs       int64
+	channelsStep int64
+	steps        int64
+
+	parNs   *stats.Histogram // wall ns per parallel phase
+	applyNs *stats.Histogram // wall ns per serial apply phase
+	stallNs *stats.Histogram // mean per-worker barrier stall ns per epoch
+	occPct  *stats.Histogram // worker busy % of the parallel phase
+	chans   *stats.Histogram // eligible channels per epoch
+	stepsH  *stats.Histogram // scheduler steps per epoch
+
+	curWorkers int
+	curChans   int
+	t0, tPar   int64
+}
+
+// wallNsBounds doubles from 256 ns to ~4 s, covering sub-µs barriers and
+// pathological stalls alike.
+func wallNsBounds() []int64 {
+	b := make([]int64, 0, 24)
+	v := int64(256)
+	for i := 0; i < 24; i++ {
+		b = append(b, v)
+		v *= 2
+	}
+	return b
+}
+
+// stepsBounds doubles from 16: the per-epoch step count the epoch
+// recommendation targets sits mid-range.
+func stepsBounds() []int64 {
+	b := make([]int64, 0, 20)
+	v := int64(16)
+	for i := 0; i < 20; i++ {
+		b = append(b, v)
+		v *= 2
+	}
+	return b
+}
+
+// NewWallProfiler builds a profiler over the injected monotonic-nanosecond
+// clock (cmds pass a time.Now-derived func; tests pass a counter). A nil now
+// is replaced by a zero clock so an accidentally detached profiler still
+// cannot panic the event loop.
+func NewWallProfiler(now func() int64) *WallProfiler {
+	if now == nil {
+		now = func() int64 { return 0 }
+	}
+	return &WallProfiler{
+		now:     now,
+		parNs:   stats.NewHistogram(wallNsBounds()...),
+		applyNs: stats.NewHistogram(wallNsBounds()...),
+		stallNs: stats.NewHistogram(wallNsBounds()...),
+		occPct:  stats.NewHistogram(0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100),
+		chans:   stats.NewHistogram(1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64),
+		stepsH:  stats.NewHistogram(stepsBounds()...),
+	}
+}
+
+// Now reads the injected clock (exported for the mc worker goroutines).
+func (p *WallProfiler) Now() int64 { return p.now() }
+
+// BeginEpoch opens one parallel epoch: workers goroutines over channels
+// eligible channels. Called on the barrier goroutine before workers spawn.
+func (p *WallProfiler) BeginEpoch(workers, channels int) {
+	p.curWorkers = workers
+	p.curChans = channels
+	if workers > p.maxWorkers {
+		p.maxWorkers = workers
+	}
+	if len(p.busy) < workers {
+		//twicelint:allocok grown once to the worker budget, then reused every epoch
+		p.busy = make([]int64, workers)
+	}
+	for i := 0; i < workers; i++ {
+		p.busy[i] = 0
+	}
+	p.t0 = p.now()
+}
+
+// WorkerBusy records how long worker w spent stepping channels this epoch.
+// Each worker owns its own slot; the WaitGroup in advanceParallel orders all
+// writes before EndParallel reads them.
+func (p *WallProfiler) WorkerBusy(w int, ns int64) {
+	if w >= 0 && w < len(p.busy) {
+		p.busy[w] = ns
+	}
+}
+
+// EndParallel closes the parallel phase: observes its wall duration, the
+// workers' aggregate occupancy, and the mean per-worker barrier stall.
+// Called on the barrier goroutine after wg.Wait.
+func (p *WallProfiler) EndParallel() {
+	t := p.now()
+	par := t - p.t0
+	p.tPar = t
+	if par < 0 {
+		par = 0
+	}
+	p.parNs.Observe(par)
+	var busy int64
+	for i := 0; i < p.curWorkers && i < len(p.busy); i++ {
+		busy += p.busy[i]
+	}
+	if total := par * int64(p.curWorkers); total > 0 {
+		pct := 100 * busy / total
+		if pct > 100 {
+			pct = 100
+		}
+		p.occPct.Observe(pct)
+		stall := total - busy
+		if stall < 0 {
+			stall = 0
+		}
+		p.stallNs.Observe(stall / int64(p.curWorkers))
+	}
+}
+
+// EndEpoch closes the serial apply phase with the scheduler steps the epoch
+// executed. Called on the barrier goroutine after the buffered side effects
+// have replayed.
+func (p *WallProfiler) EndEpoch(steps int64) {
+	apply := p.now() - p.tPar
+	if apply < 0 {
+		apply = 0
+	}
+	p.applyNs.Observe(apply)
+	p.chans.Observe(int64(p.curChans))
+	p.stepsH.Observe(steps)
+	p.epochs++
+	p.channelsStep += int64(p.curChans)
+	p.steps += steps
+}
+
+// Epochs returns how many parallel epochs the profiler observed.
+func (p *WallProfiler) Epochs() int64 { return p.epochs }
+
+// wallHist is the exported form of one histogram.
+type wallHist struct {
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+	Total  int64   `json:"total"`
+	Mean   float64 `json:"mean"`
+	Max    int64   `json:"max"`
+}
+
+func histOut(h *stats.Histogram) wallHist {
+	return wallHist{
+		Bounds: append([]int64(nil), h.Bounds()...),
+		Counts: append([]int64(nil), h.Counts()...),
+		Total:  h.Count(),
+		Mean:   h.Mean(),
+		Max:    h.Max(),
+	}
+}
+
+// wallReport is the *.wall.json document. Deterministic is always false:
+// every field except the configuration echoes is wall-clock derived, which
+// is why this report lives in its own file instead of the trace or the
+// telemetry exports (DESIGN.md §15).
+type wallReport struct {
+	Deterministic    bool     `json:"deterministic"`
+	GOMAXPROCS       int      `json:"gomaxprocs"`
+	MaxWorkers       int      `json:"max_workers"`
+	Epochs           int64    `json:"epochs"`
+	ChannelsStepped  int64    `json:"channels_stepped"`
+	Steps            int64    `json:"steps"`
+	ParallelPhaseNs  wallHist `json:"parallel_phase_ns"`
+	ApplyPhaseNs     wallHist `json:"apply_phase_ns"`
+	BarrierStallNs   wallHist `json:"barrier_stall_ns_per_worker"`
+	OccupancyPct     wallHist `json:"worker_occupancy_pct"`
+	ChannelsPerEpoch wallHist `json:"channels_per_epoch"`
+	StepsPerEpoch    wallHist `json:"steps_per_epoch"`
+}
+
+// WriteJSON exports the profile. gomaxprocs is stamped by the caller (the
+// cmd layer owns runtime introspection) so the sidecar is self-describing.
+func (p *WallProfiler) WriteJSON(w io.Writer, gomaxprocs int) error {
+	rep := wallReport{
+		Deterministic:    false,
+		GOMAXPROCS:       gomaxprocs,
+		MaxWorkers:       p.maxWorkers,
+		Epochs:           p.epochs,
+		ChannelsStepped:  p.channelsStep,
+		Steps:            p.steps,
+		ParallelPhaseNs:  histOut(p.parNs),
+		ApplyPhaseNs:     histOut(p.applyNs),
+		BarrierStallNs:   histOut(p.stallNs),
+		OccupancyPct:     histOut(p.occPct),
+		ChannelsPerEpoch: histOut(p.chans),
+		StepsPerEpoch:    histOut(p.stepsH),
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	_, err = w.Write([]byte{'\n'})
+	return err
+}
+
+// RecommendTargetSteps is the per-channel scheduler-step batch the epoch
+// recommendation aims at per barrier: large enough to amortize the barrier
+// (hundreds of ~300 ns steps against a ~µs synchronization), small enough to
+// keep arrival quantization near the refresh cadence.
+const RecommendTargetSteps = 256
+
+// RecommendEpoch derives a default ChannelEpoch from the refresh interval
+// and the observed event density — the ROADMAP's epoch auto-tuning rule.
+// steps is the run's total scheduler steps (System.Steps) and span its final
+// simulated time; the result is the epoch at which an average channel
+// executes RecommendTargetSteps steps per barrier, clamped to
+// [1µs, tREFI] (tREFI is the natural ceiling: refresh pacing forces a
+// barrier each interval regardless).
+//
+// The inputs are all simulated quantities, so the recommendation is itself
+// deterministic — identical across worker counts — which is what allows the
+// telemetry export to carry it without breaking byte-identity.
+func RecommendEpoch(tREFI clock.Time, channels int, steps int64, span clock.Time) clock.Time {
+	if tREFI <= 0 {
+		return 0
+	}
+	if steps <= 0 || span <= 0 || channels <= 0 {
+		return tREFI
+	}
+	epoch := clock.Time(int64(RecommendTargetSteps) * int64(channels) * int64(span) / steps)
+	if epoch > tREFI {
+		return tREFI
+	}
+	if epoch < clock.Microsecond {
+		return clock.Microsecond
+	}
+	return epoch
+}

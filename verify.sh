@@ -19,6 +19,9 @@
 #                        so a change that breaks only benchmark-path code
 #                        (the perfbench hot-path legs share these bodies)
 #                        cannot land green
+#   4c. benchdiff smoke — the regression-table tool parses the two newest
+#                        committed perfbench snapshots (including the
+#                        version skew between them) and exits 0
 #   5. go test -race   — race detector over the event loop, the memory
 #                        controller (channel-parallel Advance), the TWiCe
 #                        engine, and the parallel experiment runner, plus
@@ -51,6 +54,9 @@ go test ./...
 
 echo "==> go test -run='^\$' -bench=SimRun -benchtime=1x ./internal/sim"
 go test -run='^$' -bench=SimRun -benchtime=1x ./internal/sim
+
+echo "==> benchdiff BENCH_5.json BENCH_6.json (smoke)"
+go run ./cmd/benchdiff BENCH_5.json BENCH_6.json >/dev/null
 
 echo "==> go test -race ./internal/sim/... ./internal/mc/... ./internal/core/... ./internal/parallel/..."
 go test -race ./internal/sim/... ./internal/mc/... ./internal/core/... ./internal/parallel/...
