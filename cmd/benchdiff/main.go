@@ -57,6 +57,9 @@ type chanLeg struct {
 	Speedup        float64 `json:"speedup_vs_serial"`
 	GOMAXPROCS     int     `json:"gomaxprocs"` // absent in pre-PR9 files: 0
 	Degenerate     bool    `json:"degenerate"`
+	// Pool-vs-spawn engine comparison; absent (0) in pre-PR10 files and on
+	// workers <= 1 legs, where the engines are identical.
+	PoolOverSpawn float64 `json:"pool_over_spawn_ns"`
 }
 
 // benchFile is a tolerant superset of every perfbench output version:
@@ -264,6 +267,12 @@ func collect(files []benchFile) []metric {
 		add(fmt.Sprintf("chan %dch/%dw speedup%s", k.ch, k.w, suffix), true, func(f benchFile) (float64, bool) {
 			if l := find(f); l != nil {
 				return l.Speedup, true
+			}
+			return 0, false
+		})
+		add(fmt.Sprintf("chan %dch/%dw pool/spawn ns%s", k.ch, k.w, suffix), false, func(f benchFile) (float64, bool) {
+			if l := find(f); l != nil && l.PoolOverSpawn > 0 {
+				return l.PoolOverSpawn, true
 			}
 			return 0, false
 		})

@@ -1,5 +1,5 @@
 // Command perfbench measures the repository's performance envelope and
-// writes it to a JSON file (BENCH_6.json by default) so successive PRs can
+// writes it to a JSON file (BENCH_7.json by default) so successive PRs can
 // track the trajectory. Earlier trajectory points (BENCH_2.json,
 // BENCH_3.json, ...) are never overwritten: each measurement generation
 // writes its own file.
@@ -31,9 +31,17 @@
 //     one-tREFI epoch barrier, against the ChannelWorkers = 0 serial loop
 //     at the same epoch — the intra-machine parallelism leg. The serial
 //     and worker runs are byte-identical by construction (pinned by
-//     TestChannelParallelEquivalence), so only timing is recorded. As with
-//     the grid leg, gomaxprocs 1 makes every speedup degenerate (~1.0 or
-//     below, barrier overhead with nothing to overlap).
+//     TestChannelParallelEquivalence), so only timing is recorded. Every
+//     workers > 1 point is measured twice — once on the persistent worker
+//     pool (the default engine) and once with a goroutine spawned per
+//     barrier (the pre-pool engine, kept behind SetSpawnPerBarrier for
+//     exactly this comparison) — and the pool/spawn ns ratio is the
+//     persistent-pool payoff: the handoff saves a spawn per worker per
+//     barrier, so the ratio drops below 1 as epochs shrink and barriers
+//     dominate. As with the grid leg, gomaxprocs 1 makes every speedup
+//     degenerate (~1.0 or below, barrier overhead with nothing to
+//     overlap); the ratio between the two engine modes is still
+//     meaningful there, since both pay the same degenerate barriers.
 //
 // Wall-clock timing is inherently nondeterministic; that is fine here
 // because the numbers are diagnostics, never simulation inputs (twicelint's
@@ -41,7 +49,7 @@
 //
 // Usage:
 //
-//	perfbench [-out BENCH_6.json] [-requests 40000] [-parallel 0]
+//	perfbench [-out BENCH_7.json] [-requests 40000] [-parallel 0]
 //	          [-channel-requests 150000]
 package main
 
@@ -120,6 +128,13 @@ type chanLeg struct {
 	// the leg so cross-host comparisons don't mistake it for a regression.
 	GOMAXPROCS int  `json:"gomaxprocs"`
 	Degenerate bool `json:"degenerate"`
+	// Spawn* record the identical run with a goroutine spawned per barrier
+	// instead of the persistent pool (workers > 1 legs only; zero
+	// otherwise). PoolOverSpawn = pool seconds / spawn seconds, so < 1
+	// means the pool won.
+	SpawnSeconds  float64 `json:"spawn_seconds,omitempty"`
+	SpawnNsPerReq float64 `json:"spawn_ns_per_request,omitempty"`
+	PoolOverSpawn float64 `json:"pool_over_spawn_ns,omitempty"`
 }
 
 type report struct {
@@ -135,7 +150,7 @@ type report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_6.json", "output JSON file")
+	out := flag.String("out", "BENCH_7.json", "output JSON file")
 	requests := flag.Int64("requests", 40000, "demand requests per Figure 7(b) cell")
 	par := flag.Int("parallel", 0, "workers for the parallel grid leg (0 = all CPUs)")
 	chanRequests := flag.Int64("channel-requests", 150000, "demand requests per channel-scaling leg")
@@ -204,7 +219,7 @@ func main() {
 	for _, chs := range []int{1, 2, 4} {
 		var base float64
 		for _, cw := range []int{0, 1, 2, 4} {
-			leg, err := benchChannels(chs, cw, *chanRequests)
+			leg, err := benchChannels(chs, cw, *chanRequests, false)
 			if err != nil {
 				fail(err)
 			}
@@ -214,9 +229,26 @@ func main() {
 			if leg.Seconds > 0 {
 				leg.Speedup = base / leg.Seconds
 			}
+			if cw > 1 {
+				// Same point on the pre-pool engine: one goroutine spawned
+				// per worker per barrier. The ratio is the pool's payoff.
+				spawn, err := benchChannels(chs, cw, *chanRequests, true)
+				if err != nil {
+					fail(err)
+				}
+				leg.SpawnSeconds = spawn.Seconds
+				leg.SpawnNsPerReq = spawn.NsPerReq
+				if spawn.Seconds > 0 {
+					leg.PoolOverSpawn = leg.Seconds / spawn.Seconds
+				}
+			}
 			rep.ChannelScaling = append(rep.ChannelScaling, leg)
-			fmt.Printf("  %d ch × %d workers: %.2fs, %.1f ns/request (%.2fx vs serial)\n",
+			fmt.Printf("  %d ch × %d workers: %.2fs, %.1f ns/request (%.2fx vs serial)",
 				leg.Channels, leg.Workers, leg.Seconds, leg.NsPerReq, leg.Speedup)
+			if leg.PoolOverSpawn > 0 {
+				fmt.Printf("; pool/spawn %.3f", leg.PoolOverSpawn)
+			}
+			fmt.Println()
 		}
 	}
 	if rep.GOMAXPROCS == 1 {
@@ -439,9 +471,11 @@ func benchGrid(requests int64, workers int) (gridThroughput, error) {
 // TWiCe on a machine with the given channel count and worker budget, epoch
 // barrier fixed at one tREFI. Four cores keep enough requests in flight to
 // load all channels. Wall-clock over one full run; the equivalence tests pin
-// that every (workers) choice serves the identical request stream, so
-// ns/request is directly comparable across the matrix.
-func benchChannels(channels, workers int, requests int64) (chanLeg, error) {
+// that every (workers, engine) choice serves the identical request stream,
+// so ns/request is directly comparable across the matrix. With spawn set the
+// machine uses the per-barrier goroutine engine instead of the persistent
+// pool — the comparison that measures what the pool buys.
+func benchChannels(channels, workers int, requests int64, spawn bool) (chanLeg, error) {
 	cfg := sim.DefaultConfig(4)
 	cfg.DRAM.Channels = channels
 	cfg.DRAM.TREFW = clock.Millisecond
@@ -463,6 +497,8 @@ func benchChannels(channels, workers int, requests int64) (chanLeg, error) {
 	if err != nil {
 		return chanLeg{}, err
 	}
+	defer m.Close()
+	m.SetSpawnPerBarrier(spawn)
 	start := time.Now()
 	res, err := m.Run(sim.Limits{MaxRequests: requests, MaxTime: 10 * clock.Second})
 	if err != nil {

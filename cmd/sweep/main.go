@@ -50,7 +50,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	par := flag.Int("parallel", 0, "worker goroutines across sweep points (0 = all CPUs, 1 = serial)")
 	chanWorkers := flag.Int("channel-workers", 0, "goroutines across each point machine's DRAM channels (0/1 = serial; byte-identical results)")
-	chanEpoch := flag.Duration("channel-epoch", 0, "event-loop lookahead window per point, e.g. 7.8us (0 = classic loop; changes arrival quantization deterministically)")
+	chanEpoch := flag.String("channel-epoch", "0s", "event-loop lookahead window per point, e.g. 7.8us, or \"auto\" to calibrate one (0 = classic loop; changes arrival quantization deterministically)")
 	progressFlag := flag.Bool("progress", false, "report completed/total sweep points and ETA on stderr")
 	telemetryDir := flag.String("telemetry", "", "directory to write per-point telemetry CSV/JSONL into")
 	timelineFile := flag.String("timeline", "", "write a Chrome trace-event timeline of every sweep point to this file")
@@ -63,7 +63,22 @@ func main() {
 	s := experiments.QuickScale()
 	s.Seed = *seed
 	s.ChannelWorkers = *chanWorkers
-	s.ChannelEpoch = clock.Time(chanEpoch.Nanoseconds()) * clock.Nanosecond
+	epoch, epochAuto, err := sim.ParseChannelEpoch(*chanEpoch)
+	if err != nil {
+		fail(err)
+	}
+	s.ChannelEpoch = epoch
+	if epochAuto {
+		// Closed-loop calibration: one throwaway window picks the epoch for
+		// every sweep point; the telemetry meta records the applied value so
+		// a `-channel-epoch <applied>` rerun is byte-identical.
+		e, err := s.CalibrateChannelEpoch()
+		if err != nil {
+			fail(err)
+		}
+		s.ChannelEpoch = e
+		fmt.Fprintf(os.Stderr, "sweep: calibrated -channel-epoch %v (applied to every point)\n", e)
+	}
 	points := strings.Split(*values, ",")
 
 	pool := parallel.Runner{Workers: *par}

@@ -59,7 +59,7 @@ func main() {
 	replay := flag.String("replay", "", "replay a recorded trace file instead of a named workload")
 	par := flag.Int("parallel", 0, "worker goroutines across -defense list entries (0 = all CPUs, 1 = serial)")
 	chanWorkers := flag.Int("channel-workers", 0, "goroutines across one machine's DRAM channels (0/1 = serial; byte-identical results)")
-	chanEpoch := flag.Duration("channel-epoch", 0, "event-loop lookahead window, e.g. 7.8us (0 = classic loop; changes arrival quantization deterministically)")
+	chanEpoch := flag.String("channel-epoch", "0s", "event-loop lookahead window, e.g. 7.8us, or \"auto\" to calibrate one (0 = classic loop; changes arrival quantization deterministically)")
 	telemetryDir := flag.String("telemetry", "", "directory to write run telemetry CSV/JSONL into")
 	timelineFile := flag.String("timeline", "", "write a Chrome trace-event / Perfetto JSON timeline to this file")
 	timelineWindows := flag.Int("timeline-windows", 0, "flight-recorder mode: keep only the last K tREFI windows (0 = full trace; first detection pins the ring)")
@@ -99,7 +99,11 @@ func main() {
 	cfg.MC = mc.NewConfig(cfg.DRAM)
 	cfg.Seed = *seed
 	cfg.ChannelWorkers = *chanWorkers
-	cfg.ChannelEpoch = clock.Time(chanEpoch.Nanoseconds()) * clock.Nanosecond
+	epoch, epochAuto, err := sim.ParseChannelEpoch(*chanEpoch)
+	if err != nil {
+		fail(err)
+	}
+	cfg.ChannelEpoch = epoch
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -161,6 +165,28 @@ func main() {
 			cfg.ChannelWorkers = budget
 		}
 	}
+	if epochAuto {
+		// Closed-loop calibration (-channel-epoch auto): run a short
+		// classic-loop window on throwaway instances of the first listed
+		// defense and workload, then apply the recommended epoch to every
+		// run. The applied value lands in the telemetry meta below, so
+		// rerunning with `-channel-epoch <applied>` reproduces the exports
+		// byte-identically.
+		w, err := buildW()
+		if err != nil {
+			fail(err)
+		}
+		def, err := s.NewDefense(strings.TrimSpace(dnames[0]), cfg.DRAM)
+		if err != nil {
+			fail(err)
+		}
+		applied, err := sim.CalibrateEpoch(cfg, def, w, sim.Limits{MaxRequests: *requests, MaxTime: 30 * clock.Second})
+		if err != nil {
+			fail(err)
+		}
+		cfg.ChannelEpoch = applied
+		fmt.Fprintf(os.Stderr, "twicesim: calibrated -channel-epoch %v (applied to all runs)\n", applied)
+	}
 	if col != nil {
 		col.Meta = &probe.RunMeta{
 			ChannelEpoch:   cfg.ChannelEpoch,
@@ -205,6 +231,7 @@ func main() {
 		if err != nil {
 			return "", err
 		}
+		defer m.Close()
 		var cfgRec probe.Config
 		if col != nil {
 			cfgRec = col.Config

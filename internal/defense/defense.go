@@ -68,9 +68,11 @@ type Defense interface {
 // defense that implements it with ChannelSafe() == true declares that all of
 // its mutable state is sharded by bank (or channel), so concurrent
 // OnActivate/OnRefreshTick calls for banks of *different* channels never
-// touch the same memory. Defenses that keep cross-channel aggregates (CBT's
-// shared tree, Graphene's table) simply don't implement it, and the
-// simulator falls back to the serial event loop for them.
+// touch the same memory. TWiCe, PARA, TRR, and the ideal counter scheme all
+// shard this way (per-flat-bank state, summed on read); defenses that keep
+// cross-channel aggregates (CBT's shared tree, CRA's counter cache, PRoHIT's
+// tables, Graphene's table) simply don't implement it, and the simulator
+// falls back to the serial event loop for them.
 type ChannelSharded interface {
 	ChannelSafe() bool
 }

@@ -131,6 +131,27 @@ func (s Scale) machineConfig() sim.Config {
 	return cfg
 }
 
+// CalibrateChannelEpoch implements `-channel-epoch auto` for the grid
+// commands: it measures a short classic-loop calibration window on a
+// representative throwaway cell — S1 uniform random traffic under the
+// scale's TWiCe defense, the same cell the perfbench channel leg times — and
+// returns the epoch to apply to every cell of the run. The measurement reads
+// simulated state only, so the same scale always calibrates to the same
+// epoch; stamping the applied value into the telemetry meta makes a
+// `-channel-epoch <applied>` rerun byte-identical.
+func (s Scale) CalibrateChannelEpoch() (clock.Time, error) {
+	cfg := s.machineConfig()
+	amap, err := mc.NewAddrMap(cfg.DRAM)
+	if err != nil {
+		return 0, err
+	}
+	def, err := s.NewDefense("TWiCe", cfg.DRAM)
+	if err != nil {
+		return 0, err
+	}
+	return sim.CalibrateEpoch(cfg, def, workload.S1(amap, cfg.DRAM, s.Seed), sim.Limits{MaxRequests: s.Requests, MaxTime: clock.Second})
+}
+
 // DefenseNames lists the Figure 7 defense configurations in display order.
 func DefenseNames() []string {
 	return []string{"PARA-0.001", "PARA-0.002", "CBT-256", "TWiCe"}
@@ -272,6 +293,15 @@ func (s Scale) runGrid(jobs []cellJob) ([]Cell, error) {
 	if s.Timeline != nil {
 		s.Timeline.Start(len(jobs))
 	}
+	defer func() {
+		// Release every slot's parked channel workers once the job list
+		// drains; the runners themselves are garbage afterwards.
+		for _, r := range runners {
+			if r != nil {
+				r.Close()
+			}
+		}
+	}()
 	return parallel.MapWorkersOn(pool, len(jobs), func(worker, i int) (Cell, error) {
 		if runners[worker] == nil {
 			runners[worker] = sim.NewCellRunner(cfg)

@@ -31,6 +31,26 @@ func Kernel(dst, spill []int, label, suffix string, n int) (int, string) {
 	return buf[0] + p.x + q.x + h.x + len(dst) + len(spill) + len(msg), label
 }
 
+// Barrier mirrors the epoch-barrier worker phase (the channel-parallel
+// Advance and the sharded core scan): the worker-body closure is a
+// per-barrier allocation that must be excused deliberately, and per-shard
+// buffers must reuse their backing arrays via the [:0] idiom rather than
+// grow fresh ones inside the loop.
+//
+//twicelint:hotpath fixture stand-in for the epoch-barrier worker phase
+func Barrier(shards [][]int, n int) int {
+	spawn := func(i int) { // want hotpath "function literal allocates a closure"
+		shards[i] = append(shards[i], n) // want hotpath "append without capacity evidence"
+	}
+	spawn(0)
+	//twicelint:allocok fixture: one worker body per barrier, amortized over its shards
+	pooled := func(i int) {
+		shards[i] = append(shards[i][:0], n) // capacity evidence: per-shard buffer reuse
+	}
+	pooled(1)
+	return len(shards[0])
+}
+
 // helper is not annotated itself: it is reached from Kernel through the
 // static call graph, and its finding names the root.
 func helper(n int) *point {

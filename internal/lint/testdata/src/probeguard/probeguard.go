@@ -105,3 +105,35 @@ func (m *machine) workerGuardedAtSpawn(n int) {
 		m.probes.Event(n)
 	}()
 }
+
+// pool mimics the persistent worker pool: Run invokes the job on parked
+// goroutines, so a job closure follows the spawned-closure rule — the
+// recorder call must be dominated by a nil guard inside the body or at the
+// handoff site (the sharded core phase in internal/sim guards before it
+// arms the pool).
+type pool struct{}
+
+func (pool) Run(k int, job func(worker int)) { job(k - 1) }
+
+func (m *machine) poolJobUnguarded(p pool, n int) {
+	p.Run(2, func(int) {
+		m.probes.Event(n) // want probeguard "not dominated by a nil guard"
+	})
+}
+
+func (m *machine) poolJobGuardedInside(p pool, n int) {
+	p.Run(2, func(int) {
+		if m.probes != nil {
+			m.probes.Event(n)
+		}
+	})
+}
+
+func (m *machine) poolJobGuardedAtHandoff(p pool, n int) {
+	if m.probes == nil {
+		return
+	}
+	p.Run(2, func(int) {
+		m.probes.Event(n)
+	})
+}

@@ -17,16 +17,58 @@ import (
 	"sync/atomic"
 
 	"repro/internal/clock"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
 // SetChannelWorkers sets the worker budget for channel-parallel Advance.
 // n <= 1 selects the serial fast path (the default). The setting is
-// configuration and survives Reset.
-func (s *System) SetChannelWorkers(n int) { s.workers = n }
+// configuration and survives Reset. Shrinking or growing the budget retires
+// any existing worker pool; the next parallel barrier rebuilds it at the new
+// size.
+func (s *System) SetChannelWorkers(n int) {
+	if s.pool != nil && s.pool.Size() != n {
+		s.pool.Close()
+		s.pool = nil
+	}
+	s.workers = n
+}
 
 // ChannelWorkers returns the configured worker budget.
 func (s *System) ChannelWorkers() int { return s.workers }
+
+// SetSpawnPerBarrier switches the parallel phase back to spawning fresh
+// goroutines at every barrier (the pre-pool behaviour) instead of arming the
+// persistent worker pool. The two modes run the identical worker body over
+// the identical shards, so results stay byte-identical; the knob exists for
+// cmd/perfbench to measure the handoff-vs-spawn crossover. Configuration;
+// survives Reset.
+func (s *System) SetSpawnPerBarrier(on bool) { s.spawnWorkers = on }
+
+// SpawnPerBarrier reports whether the per-barrier spawn mode is selected.
+func (s *System) SpawnPerBarrier() bool { return s.spawnWorkers }
+
+// WorkerPool returns the system's persistent worker pool, creating it on
+// first use at the configured worker budget. The simulation layer shares the
+// pool for its core-issue shards, so one System owns exactly one set of
+// parked goroutines. Callers must not Close it — Close does.
+func (s *System) WorkerPool() *parallel.Pool {
+	if s.pool == nil {
+		//twicelint:allocok one-time pool construction, amortized over every barrier
+		s.pool = parallel.NewPool(s.workers)
+	}
+	return s.pool
+}
+
+// Close releases the persistent worker pool's parked goroutines. The System
+// remains usable for serial (and spawn-mode) runs afterwards; the next
+// WorkerPool call would rebuild the pool. Safe to call when no pool exists.
+func (s *System) Close() {
+	if s.pool != nil {
+		s.pool.Close()
+		s.pool = nil
+	}
+}
 
 // advanceTo steps this channel until its wake time passes t, stepping each
 // event at its own due time, and returns the number of scheduler steps
@@ -70,9 +112,9 @@ func (s *System) advanceParallel(now clock.Time) bool {
 		ch.beginParallel()
 	}
 
-	// Spawn up to `workers` goroutines pulling channel indexes from a shared
-	// counter. A panic inside a worker (must() on a protocol violation) kills
-	// the process, which is the same contract the serial loop has: a timing
+	// Up to `workers` workers pull channel indexes from a shared counter. A
+	// panic inside a worker (must() on a protocol violation) kills the
+	// process, which is the same contract the serial loop has: a timing
 	// violation is a scheduler bug, never recoverable state.
 	workers := s.workers
 	if workers > len(elig) {
@@ -85,33 +127,45 @@ func (s *System) advanceParallel(now clock.Time) bool {
 		prof.BeginEpoch(workers, len(elig))
 	}
 	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		//twicelint:allocok parallel phase only; the serial fast path never reaches this
-		go func(w int) {
-			//twicelint:allocok parallel phase only; one deferred frame per worker per barrier
-			defer wg.Done()
-			var busy0 int64
-			if prof != nil {
-				busy0 = prof.Now()
+	//twicelint:allocok parallel phase only; the serial fast path never reaches this
+	body := func(w int) {
+		var busy0 int64
+		if prof != nil {
+			busy0 = prof.Now()
+		}
+		for {
+			i := int(cursor.Add(1)) - 1
+			if i >= len(elig) {
+				break
 			}
-			for {
-				i := int(cursor.Add(1)) - 1
-				if i >= len(elig) {
-					break
-				}
-				ch := elig[i]
-				ch.stepsBuf = ch.advanceTo(now)
-			}
-			if prof != nil {
-				// Each worker writes only its own slot; wg.Wait orders the
-				// writes before EndParallel reads them.
-				prof.WorkerBusy(w, prof.Now()-busy0)
-			}
-		}(w)
+			ch := elig[i]
+			ch.stepsBuf = ch.advanceTo(now)
+		}
+		if prof != nil {
+			// Each worker writes only its own slot; the barrier (wg.Wait or
+			// Pool.Run's return) orders the writes before EndParallel reads
+			// them.
+			prof.WorkerBusy(w, prof.Now()-busy0)
+		}
 	}
-	wg.Wait()
+	if s.spawnWorkers {
+		// Retained pre-pool mode: fresh goroutines every barrier, measured
+		// against the pool handoff by cmd/perfbench's channel leg.
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			//twicelint:allocok spawn mode only; benchmarking comparison path
+			go func(w int) {
+				// No defer: a worker panic kills the process by contract, so
+				// nothing ever needs Done on an unwinding stack.
+				body(w)
+				wg.Done()
+			}(w)
+		}
+		wg.Wait()
+	} else {
+		s.WorkerPool().Run(workers, body)
+	}
 	if prof != nil {
 		prof.EndParallel()
 	}

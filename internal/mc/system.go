@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/dram"
+	"repro/internal/parallel"
 	"repro/internal/probe"
 	"repro/internal/rcd"
 	"repro/internal/stats"
@@ -126,6 +127,14 @@ type System struct {
 	// ≤1 keeps the serial fast path.
 	//twicelint:keep configuration, set via SetChannelWorkers; survives Reset
 	workers int
+	// pool holds the persistent parked workers the parallel phase arms each
+	// barrier (parallel.go); built lazily on first use, released by Close.
+	//twicelint:keep pool lifetime spans Reset; Close owns teardown
+	pool *parallel.Pool
+	// spawnWorkers selects the retained spawn-per-barrier mode instead of the
+	// pool — the comparison leg cmd/perfbench measures.
+	//twicelint:keep configuration, set via SetSpawnPerBarrier; survives Reset
+	spawnWorkers bool
 	// parScratch is the reusable eligible-channel list for advanceParallel.
 	parScratch []*channel
 	// wallProf, when non-nil, receives wall-clock epoch profiles from

@@ -1,0 +1,79 @@
+package parallel
+
+import "sync"
+
+// Pool keeps a fixed set of parked worker goroutines for repeated fan-outs.
+// Runner.Do spawns goroutines per call, which is the right shape for
+// long-lived jobs (experiment cells); the channel-parallel event loop instead
+// crosses a barrier every epoch, and at small epochs the per-barrier spawn
+// cost dominates the work (ROADMAP: persistent worker pool). A Pool replaces
+// the spawn with a channel handoff: Run arms k parked workers, each runs the
+// job once with a distinct worker index, and Run returns when all k are done.
+//
+// Determinism is the caller's contract, same as Runner: the job must confine
+// cross-worker effects to per-index slots (the mc channel shards). The pool
+// itself adds no ordering — it only changes how the goroutines come to exist.
+//
+// A Pool is owned by one orchestrating goroutine: Run must not be called
+// concurrently with itself or with Close. Workers park between calls holding
+// no reference to the last job, so an idle pool pins nothing but its own
+// goroutine stacks.
+type Pool struct {
+	size int
+	arm  chan int // worker indexes for the current Run; closed by Close
+	wg   sync.WaitGroup
+	job  func(worker int)
+}
+
+// NewPool starts size parked workers (minimum 1). The pool runs until Close.
+func NewPool(size int) *Pool {
+	if size < 1 {
+		size = 1
+	}
+	//twicelint:allocok one-time pool construction; every barrier after amortizes it
+	p := &Pool{size: size, arm: make(chan int)}
+	for i := 0; i < size; i++ {
+		//twicelint:allocok one goroutine per pool lifetime, not per barrier
+		go func() {
+			// Each token is one job slot: the send in Run happens-before the
+			// receive here, ordering the p.job write; Done happens-before
+			// Run's Wait returns, ordering the job's writes for the caller.
+			for w := range p.arm {
+				p.job(w)
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Size returns the number of parked workers.
+func (p *Pool) Size() int { return p.size }
+
+// Run executes job(0) … job(k-1) on the parked workers, where k is clamped to
+// the pool size, and returns when every call has finished. k <= 1 runs the
+// job inline on the caller — the serial baseline, no handoff at all. Each
+// index is claimed by exactly one worker goroutine per Run (a fast worker may
+// claim more than one index; indexes, not goroutines, are the identity the
+// job may key per-slot state on). Run must not be called after Close.
+func (p *Pool) Run(k int, job func(worker int)) {
+	if k > p.size {
+		k = p.size
+	}
+	if k <= 1 {
+		job(0)
+		return
+	}
+	p.job = job
+	p.wg.Add(k)
+	for w := 0; w < k; w++ {
+		p.arm <- w
+	}
+	p.wg.Wait()
+	p.job = nil // parked workers must not pin the caller's state
+}
+
+// Close releases the worker goroutines. Idempotent Close is not provided on
+// purpose: the pool has exactly one owner (the System that created it), and a
+// second Close or a Run after Close is an ownership bug that should panic.
+func (p *Pool) Close() { close(p.arm) }

@@ -1,0 +1,102 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolRunCoversEveryIndex checks the core contract: Run(k, job) calls
+// job exactly once per index 0..k-1 and has returned only after every call
+// finished, across repeated Runs on the same pool.
+func TestPoolRunCoversEveryIndex(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for round := 0; round < 50; round++ {
+		var hits [4]atomic.Int64
+		p.Run(4, func(w int) { hits[w].Add(1) })
+		for w := range hits {
+			if n := hits[w].Load(); n != 1 {
+				t.Fatalf("round %d: index %d ran %d times, want 1", round, w, n)
+			}
+		}
+	}
+}
+
+// TestPoolRunClampsToSize checks that k above the pool size is clamped: only
+// indexes 0..size-1 run, each once.
+func TestPoolRunClampsToSize(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var hits [8]atomic.Int64
+	p.Run(8, func(w int) { hits[w].Add(1) })
+	for w := range hits {
+		want := int64(0)
+		if w < 2 {
+			want = 1
+		}
+		if n := hits[w].Load(); n != want {
+			t.Errorf("index %d ran %d times, want %d", w, n, want)
+		}
+	}
+}
+
+// TestPoolRunInlineWhenSerial checks the k <= 1 fast path: the job runs on
+// the calling goroutine (no handoff), which the serial event loop relies on
+// to stay allocation- and scheduler-free.
+func TestPoolRunInlineWhenSerial(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for _, k := range []int{0, 1} {
+		ran := false
+		p.Run(k, func(w int) {
+			if w != 0 {
+				t.Errorf("inline run got worker index %d, want 0", w)
+			}
+			ran = true // no synchronization: must be the caller's goroutine
+		})
+		if !ran {
+			t.Fatalf("Run(%d) did not run the job", k)
+		}
+	}
+}
+
+// TestPoolWorkersRunConcurrently proves the workers are genuinely parallel
+// slots, not a serial replay: every job blocks until all k have started,
+// which can only resolve if k workers are live at once.
+func TestPoolWorkersRunConcurrently(t *testing.T) {
+	const k = 3
+	p := NewPool(k)
+	defer p.Close()
+	var gate sync.WaitGroup
+	gate.Add(k)
+	p.Run(k, func(int) {
+		gate.Done()
+		gate.Wait() // deadlocks (test timeout) unless all k run concurrently
+	})
+}
+
+// TestPoolDropsJobBetweenRuns checks that parked workers pin nothing from
+// the last Run: the job reference is cleared once Run returns.
+func TestPoolDropsJobBetweenRuns(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	p.Run(2, func(int) {})
+	if p.job != nil {
+		t.Error("pool still references the last job after Run returned")
+	}
+}
+
+// TestPoolRunAfterClosePanics pins the ownership contract: Close is not
+// idempotent and a Run after Close is a bug that must panic, not hang or
+// silently no-op.
+func TestPoolRunAfterClosePanics(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("Run after Close did not panic")
+		}
+	}()
+	p.Run(2, func(int) {})
+}

@@ -115,6 +115,11 @@ type Recorder struct {
 	// (timeline.RecommendEpoch), stamped by the machine at end of run.
 	recEpoch clock.Time
 
+	// appliedEpoch is the ChannelEpoch the run actually used, stamped by the
+	// machine at the start of Run — the closed-loop counterpart of recEpoch
+	// (an auto-calibrated run records here what the calibration chose).
+	appliedEpoch clock.Time
+
 	// Channel-capture mode (channel-parallel Advance): while capOn, the
 	// per-channel hot hooks append raw events to capture[channel] instead of
 	// touching shared state; EndChannelCapture replays them serially in
@@ -253,6 +258,16 @@ func (r *Recorder) SetRecommendedEpoch(e clock.Time) { r.recEpoch = e }
 // RecommendedEpoch returns the stored ChannelEpoch recommendation (zero if
 // the machine never stamped one).
 func (r *Recorder) RecommendedEpoch() clock.Time { return r.recEpoch }
+
+// SetAppliedEpoch stores the ChannelEpoch the run actually used. The machine
+// stamps it at the start of every run; for `-channel-epoch auto` runs this
+// is the calibrated value, which is what makes the export self-describing —
+// rerunning with the stamped epoch reproduces the run byte-identically.
+func (r *Recorder) SetAppliedEpoch(e clock.Time) { r.appliedEpoch = e }
+
+// AppliedEpoch returns the stored applied ChannelEpoch (zero when the run
+// used the classic loop or never stamped one).
+func (r *Recorder) AppliedEpoch() clock.Time { return r.appliedEpoch }
 
 // ---- hot-path hooks ----
 //
@@ -597,6 +612,7 @@ func (r *Recorder) Reset() {
 	r.nextSample = 0
 	r.dropped = 0
 	r.recEpoch = 0
+	r.appliedEpoch = 0
 	for i := range r.capture {
 		r.capture[i] = r.capture[i][:0]
 	}

@@ -50,7 +50,11 @@ type Snapshot struct {
 	// this run (ps; zero when the machine never stamped one). Derived from
 	// simulated quantities only, so it is byte-identical across worker counts.
 	RecommendedEpoch clock.Time
-	Histograms       []HistogramSnapshot // fixed order: latency_ps, queue_depth, inter_arr_ps, bank_queue_depth
+	// AppliedEpoch is the ChannelEpoch the run actually used (ps), stamped at
+	// the start of Run; for auto-calibrated runs it records what the
+	// calibration chose, making the export reproducible as-is.
+	AppliedEpoch clock.Time
+	Histograms   []HistogramSnapshot // fixed order: latency_ps, queue_depth, inter_arr_ps, bank_queue_depth
 	Occupancy        []OccSample
 	Gauges           []GaugeSeries // registration order
 }
@@ -62,6 +66,7 @@ func (r *Recorder) Snapshot() Snapshot {
 		MaxOccupancy:     r.maxOcc,
 		DroppedSamples:   r.dropped,
 		RecommendedEpoch: r.recEpoch,
+		AppliedEpoch:     r.appliedEpoch,
 		Histograms: []HistogramSnapshot{
 			histSnapshot("latency_ps", r.latency),
 			histSnapshot("queue_depth", r.depth),
@@ -221,6 +226,7 @@ type cellLine struct {
 	MaxOccupancy     int         `json:"max_occupancy"`
 	DroppedSamples   int64       `json:"dropped_samples"`
 	RecommendedEpoch int64       `json:"recommended_epoch_ps"`
+	AppliedEpoch     int64       `json:"applied_epoch_ps"`
 }
 
 // histLine is the per-histogram JSONL record.
@@ -250,6 +256,7 @@ func WriteJSONL(w io.Writer, labels []CellLabel, snaps []Snapshot) error {
 			MaxOccupancy:     s.MaxOccupancy,
 			DroppedSamples:   s.DroppedSamples,
 			RecommendedEpoch: int64(s.RecommendedEpoch),
+			AppliedEpoch:     int64(s.AppliedEpoch),
 		}); err != nil {
 			return err
 		}

@@ -9,7 +9,9 @@ import (
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/defense"
+	"repro/internal/defense/ideal"
 	"repro/internal/defense/para"
+	"repro/internal/defense/trr"
 	"repro/internal/mc"
 	"repro/internal/probe"
 	"repro/internal/workload"
@@ -45,9 +47,9 @@ func s1Workload(t *testing.T, cfg Config) workload.Workload {
 	return workload.S1(m, cfg.DRAM, 11)
 }
 
-// chanDefense builds the cell's defense. Both TWiCe and PARA are
-// channel-sharded (defense.ChannelSharded), so both must take the parallel
-// path when workers allow it.
+// chanDefense builds the cell's defense. TWiCe, PARA, TRR, and the ideal
+// counter scheme are all channel-sharded (defense.ChannelSharded), so all
+// four must take the parallel path when workers allow it.
 func chanDefense(t *testing.T, cfg Config, kind string) defense.Defense {
 	t.Helper()
 	switch kind {
@@ -59,6 +61,18 @@ func chanDefense(t *testing.T, cfg Config, kind string) defense.Defense {
 			t.Fatal(err)
 		}
 		return pa
+	case "trr":
+		tr, err := trr.New(trr.NewConfig(cfg.DRAM))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	case "ideal":
+		id, err := ideal.New(ideal.NewConfig(cfg.DRAM))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
 	default:
 		t.Fatalf("unknown defense kind %q", kind)
 		return nil
@@ -147,10 +161,16 @@ func TestChannelParallelEquivalence(t *testing.T) {
 	for _, channels := range []int{1, 2, 4} {
 		for _, pol := range policies {
 			for _, buffered := range []bool{true, false} {
-				for _, defKind := range []string{"twice", "para"} {
+				for _, defKind := range []string{"twice", "para", "trr", "ideal"} {
+					// TRR and ideal shard exactly like PARA (per-flat-bank
+					// slices); write buffering doesn't interact with the
+					// defense, so one buffering mode covers them.
+					if !buffered && (defKind == "trr" || defKind == "ideal") {
+						continue
+					}
 					// Under the race detector, keep only the cells that
 					// exercise distinct parallel-path behaviour: multi-channel
-					// runs across both buffering modes and both defenses, on
+					// runs across both buffering modes and all defenses, on
 					// one page policy (see raceDetectorOn).
 					if raceDetectorOn && (channels < 2 || pol.pol != mc.MinimalistOpen) {
 						continue

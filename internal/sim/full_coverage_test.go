@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/mc"
+	"repro/internal/probe"
+	"repro/internal/workload"
+)
+
+// drainCfg builds a cell whose post-MaxRequests drain is long: a deep write
+// buffer plus multi-channel traffic leaves plenty of in-flight work when the
+// request budget runs out, so the drain loop's epoch windows (not just the
+// main loop's) decide byte-identity.
+func drainCfg(buffered bool, workers int, epoch clock.Time) Config {
+	cfg := chanCfg(4, mc.MinimalistOpen, buffered, workers, epoch)
+	if buffered {
+		cfg.MC.WriteQueueDepth *= 4
+	}
+	return cfg
+}
+
+// TestDrainParallelEquivalence pins the parallel-drain contract (DESIGN.md
+// §16): the drain phase now runs under the same epoch-barrier Advance as the
+// main loop, so a run that ends with deep write queues and postponed
+// refreshes must still be byte-identical — Result, telemetry snapshot, and
+// serialized CSV/JSONL — between the serial loop and every worker count.
+func TestDrainParallelEquivalence(t *testing.T) {
+	// A small request budget against 4 channels ends the main loop with the
+	// queues still busy; everything after is drain.
+	lim := Limits{MaxRequests: 1200, MaxTime: 20 * clock.Millisecond}
+	trefi := DefaultConfig(1).DRAM.TREFI
+	for _, buffered := range []bool{true, false} {
+		for _, workers := range []int{1, 2, 4} {
+			// Under the race detector keep the cells that stress the parallel
+			// drain hardest: maximum fan-out, both buffering modes.
+			if raceDetectorOn && workers != 4 {
+				continue
+			}
+			wq := "wq"
+			if !buffered {
+				wq = "nowq"
+			}
+			t.Run(fmt.Sprintf("%s/workers%d", wq, workers), func(t *testing.T) {
+				serial := runChannelCell(t, drainCfg(buffered, 0, trefi), "twice", lim)
+				par := runChannelCell(t, drainCfg(buffered, workers, trefi), "twice", lim)
+				compareRuns(t, serial, par)
+			})
+		}
+	}
+}
+
+// multiCoreS1 composes one independent S1 generator per core, each with its
+// own seed. BypassCache keeps the cores share-nothing — the precondition the
+// sharded core phase needs.
+func multiCoreS1(t *testing.T, cfg Config, cores int) workload.Workload {
+	t.Helper()
+	m, err := mc.NewAddrMap(cfg.DRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workload.Workload{Name: "multi-s1", BypassCache: true}
+	for i := 0; i < cores; i++ {
+		w.Gens = append(w.Gens, workload.S1(m, cfg.DRAM, 11+int64(i)*13).Gens[0])
+	}
+	return w
+}
+
+// runCoreShardCell runs one multi-core cell and also reports how many
+// barriers took the sharded core path, so the test can prove the new path
+// engaged rather than silently falling back to the serial scan.
+func runCoreShardCell(t *testing.T, cfg Config, cores int, lim Limits) (chanRunState, int64) {
+	t.Helper()
+	m, err := NewMachine(cfg, chanDefense(t, cfg, "twice"), multiCoreS1(t, cfg, cores))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := probe.NewRecorder(probe.Config{})
+	m.SetRecorder(rec)
+	res, err := m.Run(lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exportState(t, res, rec, "twice"), m.coreShardRuns
+}
+
+// TestCoreShardEquivalence pins the sharded-core-phase contract: with a
+// cache-bypassing multi-core workload and an epoch window, the per-barrier
+// Take/submit scan shards across the worker pool (per-core buffered
+// enqueues, serial replay in core-index order) and must stay byte-identical
+// to the serial scan at every worker count — while actually taking the
+// sharded path, not the fallback.
+func TestCoreShardEquivalence(t *testing.T) {
+	const cores = 4
+	lim := Limits{MaxRequests: 2500, MaxTime: 20 * clock.Millisecond}
+	trefi := DefaultConfig(1).DRAM.TREFI
+	mkCfg := func(workers int) Config {
+		cfg := drainCfg(true, workers, trefi)
+		cfg.CPU = DefaultConfig(cores).CPU
+		return cfg
+	}
+	serial, shards := runCoreShardCell(t, mkCfg(0), cores, lim)
+	if shards != 0 {
+		t.Fatalf("serial run took the sharded core path %d times", shards)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		if raceDetectorOn && workers < 2 {
+			continue
+		}
+		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+			par, shards := runCoreShardCell(t, mkCfg(workers), cores, lim)
+			if workers > 1 && shards == 0 {
+				t.Error("sharded core path never engaged despite workers > 1")
+			}
+			if workers <= 1 && shards != 0 {
+				t.Errorf("sharded core path engaged %d times with workers <= 1", shards)
+			}
+			compareRuns(t, serial, par)
+		})
+	}
+}
+
+// TestParseChannelEpoch covers the -channel-epoch grammar shared by the
+// cmds: Go durations, the "auto" keyword (case-insensitive, whitespace
+// tolerated), and rejection of negatives and garbage.
+func TestParseChannelEpoch(t *testing.T) {
+	cases := []struct {
+		in    string
+		epoch clock.Time
+		auto  bool
+		ok    bool
+	}{
+		{"0s", 0, false, true},
+		{"7.8us", 7800 * clock.Nanosecond, false, true},
+		{"1ms", clock.Millisecond, false, true},
+		{"auto", 0, true, true},
+		{" AUTO ", 0, true, true},
+		{"-1us", 0, false, false},
+		{"chaos", 0, false, false},
+		{"", 0, false, false},
+	}
+	for _, c := range cases {
+		epoch, auto, err := ParseChannelEpoch(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseChannelEpoch(%q) error = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if epoch != c.epoch || auto != c.auto {
+			t.Errorf("ParseChannelEpoch(%q) = (%v, %v), want (%v, %v)", c.in, epoch, auto, c.epoch, c.auto)
+		}
+	}
+}
+
+// TestCalibrateEpochDeterministic pins the closed-loop tuner's contract:
+// calibration is a pure function of the simulated window, so two
+// calibrations over identical inputs recommend the identical epoch, and the
+// recommendation respects RecommendEpoch's clamp range.
+func TestCalibrateEpochDeterministic(t *testing.T) {
+	lim := Limits{MaxRequests: 2000, MaxTime: clock.Second}
+	mkEpoch := func() clock.Time {
+		cfg := chanCfg(2, mc.MinimalistOpen, true, 0, 0)
+		e, err := CalibrateEpoch(cfg, chanDefense(t, cfg, "twice"), s1Workload(t, cfg), lim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	e1, e2 := mkEpoch(), mkEpoch()
+	if e1 != e2 {
+		t.Fatalf("calibration not deterministic: %v vs %v", e1, e2)
+	}
+	cfg := chanCfg(2, mc.MinimalistOpen, true, 0, 0)
+	if e1 < clock.Microsecond || e1 > cfg.DRAM.TREFI {
+		t.Errorf("calibrated epoch %v outside [1µs, tREFI=%v]", e1, cfg.DRAM.TREFI)
+	}
+	if e1%clock.Nanosecond != 0 {
+		t.Errorf("calibrated epoch %v has sub-ns picoseconds; -channel-epoch cannot express it, so the logged value would not rerun identically", e1)
+	}
+}
+
+// TestAppliedEpochStamped pins the telemetry half of auto-tuning: the epoch
+// a run actually uses lands in the recorder snapshot (and from there in the
+// JSONL export), so an auto-calibrated run's exports record which epoch to
+// pass for a byte-identical rerun.
+func TestAppliedEpochStamped(t *testing.T) {
+	trefi := DefaultConfig(1).DRAM.TREFI
+	for _, epoch := range []clock.Time{0, trefi} {
+		st := runChannelCell(t, chanCfg(2, mc.MinimalistOpen, true, 0, epoch), "twice", Limits{MaxRequests: 500, MaxTime: 10 * clock.Millisecond})
+		if st.snap.AppliedEpoch != epoch {
+			t.Errorf("snapshot applied epoch = %v, want %v", st.snap.AppliedEpoch, epoch)
+		}
+	}
+}

@@ -8,6 +8,9 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"strings"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/clock"
@@ -154,6 +157,13 @@ type Machine struct {
 	// defense (when it implements probe.Instrumented); Reuse re-fans it to
 	// each cell's fresh defense.
 	rec *probe.Recorder
+
+	// coreBuf holds each core's buffered demand intents for the sharded core
+	// issue phase (coreShard): per-core slices reused across barriers.
+	coreBuf [][]coreIntent
+	// coreShardRuns counts barriers whose core phase took the sharded path
+	// this run; equivalence tests assert the path actually engaged.
+	coreShardRuns int64
 }
 
 // NewMachine assembles a machine running the workload under the defense.
@@ -210,6 +220,7 @@ func NewMachine(cfg Config, def defense.Defense, w workload.Workload) (*Machine,
 func (m *Machine) buildCores() error {
 	m.cores = make([]*cpu.Core, m.w.Cores())
 	m.demandDone = make([]func(clock.Time), len(m.cores))
+	m.coreBuf = make([][]coreIntent, len(m.cores))
 	for i := range m.cores {
 		c, err := cpu.New(i, m.cfg.CPU, m.w.Gens[i])
 		if err != nil {
@@ -322,6 +333,18 @@ func (m *Machine) SetRecorder(rec *probe.Recorder) {
 // caller-owned; its output never feeds simulated state.
 func (m *Machine) SetWallProfiler(p *timeline.WallProfiler) { m.sys.SetWallProfiler(p) }
 
+// SetSpawnPerBarrier switches the channel-parallel phase between the
+// persistent worker pool (the default) and the retained spawn-per-barrier
+// mode; results are byte-identical either way (cmd/perfbench measures the
+// wall-clock difference).
+func (m *Machine) SetSpawnPerBarrier(on bool) { m.sys.SetSpawnPerBarrier(on) }
+
+// Close releases the machine's parked worker goroutines (the persistent
+// channel-worker pool). The machine stays usable afterwards — the next
+// parallel barrier would rebuild the pool — so Close is an idle-resource
+// release for callers that hold many machines, not a teardown.
+func (m *Machine) Close() { m.sys.Close() }
+
 // Recorder returns the attached telemetry recorder, nil when detached.
 func (m *Machine) Recorder() *probe.Recorder { return m.rec }
 
@@ -371,7 +394,16 @@ func (m *Machine) Run(lim Limits) (*Result, error) {
 	}
 
 	m.served = 0
+	m.coreShardRuns = 0
 	epoch := m.cfg.ChannelEpoch
+	if m.rec != nil {
+		// Stamp the epoch this run actually uses into the telemetry (the
+		// "applied epoch", as distinct from the auto-tuner's recommendation
+		// for the *next* run): auto-calibrated runs resolve their epoch
+		// before machine construction, so an auto run and a fixed-epoch run
+		// of the same value export identical bytes, stamp included.
+		m.rec.SetAppliedEpoch(epoch)
+	}
 	now := clock.Time(0)
 	for m.served < lim.MaxRequests && now < lim.MaxTime {
 		next := m.sys.NextEvent()
@@ -395,14 +427,16 @@ func (m *Machine) Run(lim Limits) (*Result, error) {
 			horizon = clock.Min(now+epoch, lim.MaxTime-1)
 		}
 		m.sys.Advance(horizon)
-		for _, c := range m.cores {
-			// Each core paces itself inside the epoch: steps run at the
-			// core's own issue times (never before now, the barrier's start).
-			// With epoch 0 the condition holds exactly once per eligible core
-			// (Take pushes the next issue past now; a full queue defers past
-			// the horizon), reproducing the legacy single-step body.
-			for c.NextEventTime() <= horizon {
-				m.coreStep(c, clock.Max(c.NextEventTime(), now), horizon)
+		if !m.coreShard(now, horizon) {
+			for _, c := range m.cores {
+				// Each core paces itself inside the epoch: steps run at the
+				// core's own issue times (never before now, the barrier's start).
+				// With epoch 0 the condition holds exactly once per eligible core
+				// (Take pushes the next issue past now; a full queue defers past
+				// the horizon), reproducing the legacy single-step body.
+				for c.NextEventTime() <= horizon {
+					m.coreStep(c, clock.Max(c.NextEventTime(), now), horizon)
+				}
 			}
 		}
 		if epoch > 0 {
@@ -414,16 +448,27 @@ func (m *Machine) Run(lim Limits) (*Result, error) {
 	}
 
 	// Drain: let in-flight mitigation work (ARRs, victim refreshes) finish
-	// so defense accounting is complete.
+	// so defense accounting is complete. The drain runs under the same
+	// epoch-barrier scheme as the main loop (whole-run coverage, DESIGN.md
+	// §16): each iteration advances to the next event's horizon window, so
+	// long-tail drains — deep write queues, postponed refreshes — keep the
+	// channel workers busy instead of collapsing to one event at a time.
+	// With epoch 0 the horizon equals the event time and this is exactly the
+	// classic drain; either way the windows are a pure function of simulated
+	// state, so the drain is byte-identical at every worker count.
 	drainUntil := now + 2*m.cfg.DRAM.TREFI
 	for {
 		t := m.sys.NextEvent()
 		if t > drainUntil {
 			break
 		}
-		m.sys.Advance(t)
+		horizon := t
+		if epoch > 0 {
+			horizon = clock.Min(t+epoch, drainUntil)
+		}
+		m.sys.Advance(horizon)
 		if m.rec != nil {
-			m.rec.MaybeSample(t)
+			m.rec.MaybeSample(horizon)
 		}
 	}
 
@@ -488,6 +533,97 @@ func (m *Machine) coreStep(c *cpu.Core, t, horizon clock.Time) {
 	}
 }
 
+// coreIntent is one buffered demand access produced by the sharded core
+// issue phase: the cache-line address and direction a core generated during
+// the parallel Take scan, replayed into the controller serially.
+type coreIntent struct {
+	addr  uint64
+	write bool
+}
+
+// coreShard runs the per-epoch core issue phase sharded across the worker
+// pool, and reports whether it did; false means the caller must run the
+// classic serial scan. Sharding is exact, not approximate, and the guard
+// conditions are what make it so (DESIGN.md §16):
+//
+//   - Cores must be share-nothing: only cache-bypassing workloads qualify
+//     (the hierarchy's shared L3 couples cores otherwise). Each core then
+//     touches only its own generator, pacing, and MLP window during Take.
+//   - No intra-phase feedback: the only way the controller talks back to a
+//     core mid-scan is a failed Enqueue (which defers the core). coreShardSafe
+//     proves no Enqueue can fail this phase, so the optimistic parallel scan
+//     takes exactly the accesses the serial scan would.
+//
+// Under those guards the parallel phase buffers each core's accesses and
+// applies OnMiss optimistically; the serial replay then assigns request IDs
+// and queue positions in core-index order — the order the serial scan, which
+// drains core 0 fully before touching core 1, produces. Byte-identical at
+// every worker count, and the guards themselves read only simulated state,
+// so whether the shard path engages is itself worker-independent.
+func (m *Machine) coreShard(now, horizon clock.Time) bool {
+	if m.cfg.ChannelWorkers <= 1 || len(m.cores) < 2 || !m.w.BypassCache || !m.coreShardSafe() {
+		return false
+	}
+	workers := m.cfg.ChannelWorkers
+	if workers > len(m.cores) {
+		workers = len(m.cores)
+	}
+	var cursor atomic.Int64
+	m.sys.WorkerPool().Run(workers, func(int) {
+		for {
+			i := int(cursor.Add(1)) - 1
+			if i >= len(m.cores) {
+				break
+			}
+			c := m.cores[i]
+			buf := m.coreBuf[i][:0]
+			for c.NextEventTime() <= horizon {
+				a := c.Take(clock.Max(c.NextEventTime(), now))
+				buf = append(buf, coreIntent{addr: a.Addr &^ 63, write: a.Write})
+				c.OnMiss()
+			}
+			m.coreBuf[i] = buf
+		}
+	})
+	for i, c := range m.cores {
+		for _, in := range m.coreBuf[i] {
+			req := m.newRequest(in.addr, in.write, c.ID, m.demandDone[c.ID])
+			if !m.sys.Enqueue(req, horizon) {
+				// Unreachable: coreShardSafe reserved queue space for every
+				// intent this phase could produce.
+				panic("sim: core-shard enqueue failed despite reserved queue space")
+			}
+		}
+		m.coreBuf[i] = m.coreBuf[i][:0]
+	}
+	m.coreShardRuns++
+	return true
+}
+
+// coreShardSafe reports whether every demand access the next core phase can
+// possibly produce is guaranteed queue admission. Each core issues at most
+// MLP − outstanding accesses before its window closes (nothing completes
+// during the phase — completions run inside Advance), so if every channel's
+// read queue (and write buffer, when enabled) has at least that much free
+// space in aggregate, no Enqueue can fail regardless of how the addresses
+// distribute. Pure function of simulated state: the serial fallback on a
+// false answer is taken identically at every worker count.
+func (m *Machine) coreShardSafe() bool {
+	budget := 0
+	for _, c := range m.cores {
+		budget += m.cfg.CPU.MLP - c.Outstanding()
+	}
+	for ch := 0; ch < m.cfg.DRAM.Channels; ch++ {
+		if m.cfg.MC.QueueDepth-m.sys.QueueLen(ch) < budget {
+			return false
+		}
+		if m.cfg.MC.WriteQueueDepth > 0 && m.cfg.MC.WriteQueueDepth-m.sys.WriteQueueLen(ch) < budget {
+			return false
+		}
+	}
+	return true
+}
+
 // submit enqueues a demand access, deferring the core when the queue is
 // full. The retry lands past the horizon so a full queue cannot spin inside
 // one epoch.
@@ -518,7 +654,88 @@ func Run(cfg Config, def defense.Defense, w workload.Workload, lim Limits) (*Res
 	if err != nil {
 		return nil, err
 	}
+	defer m.Close()
 	return m.Run(lim)
+}
+
+// ParseChannelEpoch parses a -channel-epoch flag value: a duration like
+// "7.8us" (or "0" for the classic loop) sets the epoch directly, and the
+// literal "auto" selects closed-loop calibration — the caller runs
+// CalibrateEpoch on throwaway instances and builds the real run with the
+// returned epoch.
+func ParseChannelEpoch(s string) (epoch clock.Time, auto bool, err error) {
+	if strings.EqualFold(strings.TrimSpace(s), "auto") {
+		return 0, true, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, false, fmt.Errorf("sim: -channel-epoch wants a duration or \"auto\": %w", err)
+	}
+	if d < 0 {
+		return 0, false, fmt.Errorf("sim: -channel-epoch must be non-negative, got %v", d)
+	}
+	return clock.Time(d.Nanoseconds()) * clock.Nanosecond, false, nil
+}
+
+// calibrationTREFIs bounds the auto-tuner's measurement window: enough
+// refresh intervals for the step density to include refresh and mitigation
+// traffic, short enough that the throwaway window costs a negligible slice
+// of any real run.
+const calibrationTREFIs = 4
+
+// CalibrateEpoch implements the measurement half of `-channel-epoch auto`:
+// it assembles a machine from cfg/def/w, runs the classic loop (epoch 0) for
+// a short simulated window, and returns the ChannelEpoch that
+// timeline.RecommendEpoch derives from the observed step density. The
+// defense and workload are consumed — their state advances — so callers pass
+// throwaway instances and build the real run separately with ChannelEpoch
+// set to the returned value (stamping it into the telemetry meta). Every
+// input to the recommendation is simulated state, so identical inputs always
+// calibrate to the same epoch: an auto run reruns byte-identically, and
+// equals a run configured directly with the stamped epoch.
+func CalibrateEpoch(cfg Config, def defense.Defense, w workload.Workload, lim Limits) (clock.Time, error) {
+	cfg.ChannelEpoch = 0
+	m, err := NewMachine(cfg, def, w)
+	if err != nil {
+		return 0, err
+	}
+	defer m.Close()
+	if lim.MaxTime <= 0 {
+		lim.MaxTime = clock.Never
+	}
+	if lim.MaxRequests <= 0 {
+		lim.MaxRequests = 1<<62 - 1
+	}
+	calEnd := clock.Min(clock.Time(calibrationTREFIs)*cfg.DRAM.TREFI, lim.MaxTime)
+	now := clock.Time(0)
+	for m.served < lim.MaxRequests && now < calEnd {
+		next := m.sys.NextEvent()
+		for _, c := range m.cores {
+			next = clock.Min(next, c.NextEventTime())
+		}
+		if next == clock.Never {
+			break // the real run will diagnose the deadlock with full context
+		}
+		now = next
+		if now >= calEnd {
+			break
+		}
+		m.sys.Advance(now)
+		for _, c := range m.cores {
+			for c.NextEventTime() <= now {
+				m.coreStep(c, clock.Max(c.NextEventTime(), now), now)
+			}
+		}
+	}
+	e := timeline.RecommendEpoch(cfg.DRAM.TREFI, cfg.DRAM.Channels, m.sys.Steps(), now)
+	// Clamp to the flag-expressible domain: ParseChannelEpoch goes through
+	// time.Duration, so -channel-epoch can only name whole nanoseconds. The
+	// epoch is a semantic knob (it quantizes the barrier horizon), so an
+	// applied value with sub-ns picoseconds could never be reproduced from
+	// the logged/stamped duration. Flooring cannot drop below RecommendEpoch's
+	// 1µs floor, which is itself a whole-ns value.
+	e -= e % clock.Nanosecond
+	return e, nil
 }
 
 // CellRunner runs a sequence of (defense, workload) cells that share one
@@ -554,4 +771,13 @@ func (r *CellRunner) Run(def defense.Defense, w workload.Workload, lim Limits) (
 	}
 	r.m.SetRecorder(r.rec)
 	return r.m.Run(lim)
+}
+
+// Close releases the recycled machine's worker pool, if a machine was ever
+// built. The runner stays usable; grid workers call it once their job list
+// drains.
+func (r *CellRunner) Close() {
+	if r.m != nil {
+		r.m.Close()
+	}
 }

@@ -249,6 +249,12 @@ const RecommendTargetSteps = 256
 // [1µs, tREFI] (tREFI is the natural ceiling: refresh pacing forces a
 // barrier each interval regardless).
 //
+// sim.CalibrateEpoch closes the loop on this: `-channel-epoch auto` runs a
+// short throwaway window, feeds its step density here, and applies the
+// result to the real run. That makes this function part of the reproducible
+// CLI contract — the recommendation must depend only on the four arguments,
+// never on wall-clock measurements, or stamped reruns would diverge.
+//
 // The inputs are all simulated quantities, so the recommendation is itself
 // deterministic — identical across worker counts — which is what allows the
 // telemetry export to carry it without breaking byte-identity.
